@@ -1,0 +1,37 @@
+"""Figure 1: specified (ECU-projected) vs measured instance throughput.
+
+Paper: "a consistently increasing throughput divergence between the
+projected and measured application performance" across m1.large,
+m1.xlarge and c1.xlarge.
+"""
+
+from conftest import once, print_table
+
+from repro.workloads import run_instance_benchmark
+
+
+def test_fig01_instance_throughput(benchmark):
+    measurements = once(benchmark, run_instance_benchmark)
+
+    rows = [
+        (
+            m.instance,
+            f"{m.ecu:.0f}",
+            f"{m.projected_gb_per_hour:.2f}",
+            f"{m.measured_gb_per_hour:.2f}",
+            f"{m.divergence:.2f}",
+        )
+        for m in measurements
+    ]
+    print_table(
+        "Fig. 1: specified vs measured performance",
+        rows,
+        ("instance", "ECU", "projected GB/h", "measured GB/h", "divergence"),
+    )
+
+    # Shape: divergence grows monotonically with ECU; the anchor has none.
+    divergences = [m.divergence for m in measurements]
+    assert divergences[0] == 0.0
+    assert all(a < b for a, b in zip(divergences, divergences[1:]))
+    # The largest instance realizes well under 2/3 of its projection.
+    assert measurements[-1].efficiency < 0.67

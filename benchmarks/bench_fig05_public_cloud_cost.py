@@ -1,0 +1,62 @@
+"""Figure 5: monetary cost of the four deployment options, cloud-only.
+
+Paper: Hadoop-S3's charged-but-idle second hour doubles its cost (~$68);
+Conductor lands within pennies of the cheapest option (~$27) while
+meeting the 6-hour deadline.
+"""
+
+import pytest
+from conftest import once, print_table
+
+from repro.core import (
+    DeploymentScenario,
+    run_conductor,
+    run_hadoop_direct,
+    run_hadoop_s3,
+    run_hadoop_upload_first,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    scenario = DeploymentScenario()
+    return {
+        "Conductor": run_conductor(scenario),
+        "Hadoop upload first": run_hadoop_upload_first(scenario, nodes=100),
+        "Hadoop direct": run_hadoop_direct(scenario, nodes=16),
+        "Hadoop S3": run_hadoop_s3(scenario, nodes=100),
+    }
+
+
+def test_fig05_costs(benchmark, results):
+    once(benchmark, lambda: None)  # experiments run in the module fixture
+
+    rows = []
+    for name, result in results.items():
+        breakdown = result.cost_breakdown()
+        rows.append(
+            (
+                name,
+                f"${result.total_cost:.2f}",
+                f"${breakdown['network transfer']:.2f}",
+                f"${breakdown['computation/EC2']:.2f}",
+                f"${breakdown['storage/S3']:.3f}",
+                f"${breakdown['storage/EC2']:.3f}",
+            )
+        )
+    print_table(
+        "Fig. 5: cost by deployment option (paper: 27 / 35.7 / 27.2 / 68)",
+        rows,
+        ("option", "total", "transfer", "EC2 compute", "S3 storage", "EC2 storage"),
+    )
+
+    costs = {name: r.total_cost for name, r in results.items()}
+    # Shape: Conductor is within ~5% of the cheapest option...
+    cheapest = min(costs.values())
+    assert costs["Conductor"] <= cheapest * 1.05
+    # ... Hadoop-S3 is roughly twice the cheaper options ...
+    assert costs["Hadoop S3"] > 1.8 * costs["Hadoop direct"]
+    # ... and upload-first sits in between.
+    assert costs["Hadoop direct"] < costs["Hadoop upload first"] < costs["Hadoop S3"]
+    # Every option met the 6 h deadline (as in the paper).
+    assert all(r.deadline_met for r in results.values())

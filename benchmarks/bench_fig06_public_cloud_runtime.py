@@ -1,0 +1,59 @@
+"""Figure 6: completion time of the four deployment options, cloud-only.
+
+Paper: the streamed options (Conductor, Hadoop direct) need no distinct
+upload phase; Conductor is only slightly slower than the fastest option
+and everyone fits the 6-hour deadline.
+"""
+
+import pytest
+from conftest import once, print_table
+
+from repro.core import (
+    DeploymentScenario,
+    run_conductor,
+    run_hadoop_direct,
+    run_hadoop_s3,
+    run_hadoop_upload_first,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    scenario = DeploymentScenario()
+    return {
+        "Conductor": run_conductor(scenario),
+        "Hadoop upload first": run_hadoop_upload_first(scenario, nodes=100),
+        "Hadoop direct": run_hadoop_direct(scenario, nodes=16),
+        "Hadoop S3": run_hadoop_s3(scenario, nodes=100),
+    }
+
+
+def test_fig06_runtimes(benchmark, results):
+    once(benchmark, lambda: None)
+
+    rows = []
+    for name, result in results.items():
+        if result.streamed:
+            phases = f"streamed {result.runtime_s:.0f}s"
+        else:
+            phases = (
+                f"upload {result.upload_s:.0f}s + process {result.process_s:.0f}s"
+            )
+        rows.append((name, f"{result.runtime_s:.0f}s",
+                     f"{result.runtime_s / 3600:.2f}h", phases))
+    print_table(
+        "Fig. 6: job completion time (paper: ~18000-21500s, all under 6 h)",
+        rows,
+        ("option", "runtime", "hours", "phases"),
+    )
+
+    runtimes = {name: r.runtime_s for name, r in results.items()}
+    # Shape: direct (fully streamed, right-sized) is the fastest.
+    assert runtimes["Hadoop direct"] == min(runtimes.values())
+    # Distinct-upload options spend most of their time uploading.
+    for name in ("Hadoop upload first", "Hadoop S3"):
+        assert results[name].upload_s > 0.7 * runtimes[name]
+    # All options meet the deadline.
+    assert all(r.deadline_met for r in results.values())
+    # Streamed options report no upload phase.
+    assert results["Conductor"].streamed and results["Hadoop direct"].streamed

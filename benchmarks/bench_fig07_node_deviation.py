@@ -1,0 +1,47 @@
+"""Figure 7: cost and runtime when deviating from the chosen node count.
+
+Paper: with five fewer nodes (11) the job misses the 6-hour deadline;
+with five more (21) it costs more for no deadline benefit — validating
+the planner's choice of 16.
+"""
+
+import pytest
+from conftest import once, print_table
+
+from repro.core import DeploymentScenario, run_hadoop_direct
+
+NODE_COUNTS = (11, 16, 21)
+
+
+@pytest.fixture(scope="module")
+def results():
+    scenario = DeploymentScenario()
+    return {n: run_hadoop_direct(scenario, nodes=n) for n in NODE_COUNTS}
+
+
+def test_fig07_node_deviation(benchmark, results):
+    once(benchmark, lambda: None)
+
+    rows = [
+        (
+            n,
+            f"${r.total_cost:.2f}",
+            f"{r.runtime_s / 3600:.2f}h",
+            "yes" if r.deadline_met else "MISSED",
+        )
+        for n, r in results.items()
+    ]
+    print_table(
+        "Fig. 7: deviating from the optimal node count (deadline 6 h)",
+        rows,
+        ("nodes", "cost", "runtime", "deadline met"),
+    )
+
+    # Shape (paper): under-provisioning misses the deadline...
+    assert not results[11].deadline_met
+    # ... the chosen count meets it at the lowest cost ...
+    assert results[16].deadline_met
+    assert results[16].total_cost == min(r.total_cost for r in results.values())
+    # ... and over-provisioning costs strictly more without being needed.
+    assert results[21].deadline_met
+    assert results[21].total_cost > results[16].total_cost

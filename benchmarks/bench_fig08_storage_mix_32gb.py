@@ -1,0 +1,91 @@
+"""Figure 8: total job cost vs fraction of input stored on EC2 (32 GB).
+
+Paper setup (Section 6.2, modified job): 8 Mbit/s uplink, a small
+reference set giving 6.2 GB/h per node.  Neither pure option is optimal:
+the minimum lies at roughly two thirds of the data on EC2 virtual disks,
+with the rest staged through S3 while no instances run yet.
+
+Note on S3 request granularity: the sweep uses 1 MB average I/O
+operations for S3 (the 2011 Hadoop S3 filesystem's small-buffer writes),
+which is what makes the all-S3 endpoint visibly expensive — see
+EXPERIMENTS.md.
+"""
+
+import pytest
+from conftest import once, print_table
+
+from repro.cloud import (
+    KMEANS_FAST_THROUGHPUT_GB_H,
+    KMEANS_THROUGHPUT_GB_H,
+    ec2_m1_large,
+    ec2_m1_xlarge,
+    s3,
+)
+from repro.core import Goal, NetworkConditions, PlannerJob, plan_job
+
+FRACTIONS = [0.0, 0.25, 0.5, 0.65, 0.8, 1.0]
+
+
+def fig8_services():
+    return [
+        ec2_m1_large(),
+        ec2_m1_xlarge(),
+        s3().replace(avg_op_mb=1.0),  # Hadoop-style small I/O ops
+    ]
+
+
+def sweep(
+    input_gb=32.0,
+    s3_price_multiplier=1.0,
+    deadline=12.0,
+    interval_hours=1.0,
+    allow_migration=True,
+    planner=None,
+):
+    job = PlannerJob(
+        name="kmeans-fast",
+        input_gb=input_gb,
+        throughput_scale=KMEANS_FAST_THROUGHPUT_GB_H / KMEANS_THROUGHPUT_GB_H,
+    )
+    network = NetworkConditions.from_mbit_s(8.0)
+    services = fig8_services()
+    if s3_price_multiplier != 1.0:
+        services = [
+            svc.replace(cost_tstore_gb_hour=svc.cost_tstore_gb_hour * s3_price_multiplier)
+            if svc.name == "s3"
+            else svc
+            for svc in services
+        ]
+    costs = {}
+    for fraction in FRACTIONS:
+        plan = plan_job(
+            job,
+            services,
+            Goal.min_cost(deadline_hours=deadline),
+            network=network,
+            upload_fractions={"ec2.m1.large": fraction, "s3": 1.0 - fraction},
+            interval_hours=interval_hours,
+            allow_migration=allow_migration,
+            planner=planner,
+        )
+        costs[fraction] = plan.predicted_cost
+    return costs
+
+
+def test_fig08_storage_mix(benchmark):
+    costs = once(benchmark, sweep)
+
+    rows = [(f"{f:.2f}", f"${c:.3f}") for f, c in costs.items()]
+    print_table(
+        "Fig. 8: cost vs fraction of 32 GB stored on EC2 (paper: min at ~2/3)",
+        rows,
+        ("fraction on EC2", "cost"),
+    )
+
+    interior = {f: c for f, c in costs.items() if 0.0 < f < 1.0}
+    best_fraction = min(interior, key=interior.get)
+    # Shape: an interior mix beats both pure options...
+    assert interior[best_fraction] < costs[0.0]
+    assert interior[best_fraction] < costs[1.0]
+    # ... and the optimum sits in the upper half (paper: roughly 2/3).
+    assert 0.4 <= best_fraction <= 0.9

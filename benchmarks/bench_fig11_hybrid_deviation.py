@@ -1,0 +1,45 @@
+"""Figure 11: hybrid cloud — cost/runtime of guessing the node count wrong.
+
+Paper: under-estimating EC2 instances (11) misses the 4-hour deadline;
+over-estimating (21) raises the cost.
+"""
+
+import pytest
+from conftest import once, print_table
+
+from repro.cloud import local_cluster
+from repro.core import DeploymentScenario, run_hadoop_direct
+
+NODE_COUNTS = (11, 16, 21)
+
+
+@pytest.fixture(scope="module")
+def results():
+    scenario = DeploymentScenario(
+        deadline_hours=4.0, local=local_cluster(5), local_nodes=5
+    )
+    return {n: run_hadoop_direct(scenario, nodes=n) for n in NODE_COUNTS}
+
+
+def test_fig11_hybrid_deviation(benchmark, results):
+    once(benchmark, lambda: None)
+
+    rows = [
+        (
+            n,
+            f"${r.total_cost:.2f}",
+            f"{r.runtime_s / 3600:.2f}h",
+            "yes" if r.deadline_met else "MISSED",
+        )
+        for n, r in results.items()
+    ]
+    print_table(
+        "Fig. 11: hybrid, deviating node counts (deadline 4 h)",
+        rows,
+        ("EC2 nodes", "cost", "runtime", "deadline met"),
+    )
+
+    # Shape: 11 nodes are too few for 4 h; 21 cost more than 16.
+    assert results[11].runtime_s > results[16].runtime_s
+    assert not results[11].deadline_met
+    assert results[21].total_cost > results[16].total_cost

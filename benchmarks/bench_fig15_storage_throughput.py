@@ -1,0 +1,34 @@
+"""Figure 15: throughput of the storage options.
+
+Paper (Section 6.6): copying 32 GB of 64 MB files on large EC2
+instances.  HDFS is fastest (~21 MB/s); Conductor's storage layer is
+roughly 25% slower; s3cmd is comparable to Conductor; the Hadoop S3
+client (forced SSL) is far slower (~7 MB/s).
+"""
+
+from conftest import once, print_table
+
+from repro.storage.throughput import run_storage_throughput_experiment
+
+
+def test_fig15_storage_throughput(benchmark):
+    results = once(benchmark, lambda: run_storage_throughput_experiment(32.0))
+    by_name = {r.option: r.throughput_mb_s for r in results}
+
+    rows = [
+        (r.option, f"{r.throughput_mb_s:.1f} MB/s", f"{r.elapsed_s:.0f}s")
+        for r in results
+    ]
+    print_table(
+        "Fig. 15: storage throughput (paper: ~16 / ~21 / ~7 / ~15 MB/s)",
+        rows,
+        ("option", "throughput", "32 GB copy time"),
+    )
+
+    # Shape: HDFS fastest; Conductor ~25% below HDFS; s3cmd comparable to
+    # Conductor; SSL-throttled Hadoop-S3 far behind everyone.
+    assert by_name["HDFS"] == max(by_name.values())
+    ratio = by_name["Conductor"] / by_name["HDFS"]
+    assert 0.65 <= ratio <= 0.85
+    assert abs(by_name["Conductor"] - by_name["S3 (s3cmd)"]) < 3.0
+    assert by_name["S3 (Hadoop)"] < 0.55 * by_name["S3 (s3cmd)"]

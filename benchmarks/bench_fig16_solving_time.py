@@ -1,0 +1,87 @@
+"""Figure 16: model solving time vs input size and available resources.
+
+Paper (Section 6.6): CPLEX solving time grows with input size (larger
+inputs need more execution intervals, hence bigger models) and roughly
+doubles with each feature/service set added: EC2-only < S3+EC2 <
+EC2+S3+local.  Model *creation* stays under a second.
+
+Our substrate solves with HiGHS instead of CPLEX, so absolute times are
+not comparable — the shape (growth in input size, ordering across
+resource sets) is what this bench checks.
+"""
+
+import math
+import time
+
+import pytest
+from conftest import once, print_table
+
+from repro.cloud import ec2_m1_large, local_cluster, s3
+from repro.core import Goal, NetworkConditions, PlannerJob, PlanningProblem, build_model
+
+INPUT_SIZES_GB = (32.0, 64.0, 128.0, 256.0)
+
+RESOURCE_SETS = {
+    "EC2 only": lambda: [ec2_m1_large()],
+    "S3+EC2": lambda: [ec2_m1_large(), s3()],
+    "EC2+S3+local": lambda: [ec2_m1_large(), s3(), local_cluster(5)],
+}
+
+
+def deadline_for(input_gb: float) -> float:
+    """Horizon scales with input size, as in the paper (the input size
+    'gives a lower bound on execution steps to include in the model')."""
+    upload_hours = input_gb / NetworkConditions.from_mbit_s(16.0).uplink_gb_per_hour
+    return max(6.0, math.ceil(upload_hours * 1.3))
+
+
+def measure():
+    measurements = []
+    for set_name, factory in RESOURCE_SETS.items():
+        for input_gb in INPUT_SIZES_GB:
+            problem = PlanningProblem(
+                job=PlannerJob(name="sweep", input_gb=input_gb),
+                services=factory(),
+                network=NetworkConditions.from_mbit_s(16.0),
+                goal=Goal.min_cost(deadline_hours=deadline_for(input_gb)),
+            )
+            t0 = time.perf_counter()
+            built = build_model(problem)
+            build_seconds = time.perf_counter() - t0
+            solution = built.solve()
+            measurements.append(
+                (
+                    set_name,
+                    input_gb,
+                    build_seconds,
+                    solution.solve_seconds,
+                    built.model.stats()["variables"],
+                )
+            )
+    return measurements
+
+
+def test_fig16_solving_time(benchmark):
+    measurements = once(benchmark, measure)
+
+    rows = [
+        (s, f"{gb:.0f} GB", f"{build_s*1e3:.0f} ms", f"{solve_s:.2f} s", vars_)
+        for s, gb, build_s, solve_s, vars_ in measurements
+    ]
+    print_table(
+        "Fig. 16: model build/solve time vs input size and resources",
+        rows,
+        ("resources", "input", "build", "solve", "variables"),
+    )
+
+    # Shape: model creation is cheap (paper: < 1 s)...
+    assert all(m[2] < 1.0 for m in measurements)
+    # ... model size grows with input size within each resource set ...
+    for set_name in RESOURCE_SETS:
+        sizes = [m[4] for m in measurements if m[0] == set_name]
+        assert sizes == sorted(sizes) and sizes[0] < sizes[-1]
+    # ... and richer resource sets produce bigger models at equal input.
+    largest = {m[0]: m[4] for m in measurements if m[1] == INPUT_SIZES_GB[-1]}
+    assert largest["EC2 only"] < largest["S3+EC2"] < largest["EC2+S3+local"]
+    # Everything solved.
+    assert all(m[3] >= 0 for m in measurements)

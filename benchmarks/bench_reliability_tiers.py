@@ -1,0 +1,108 @@
+"""Ablation: reliability-differentiated storage for multi-stage pipelines.
+
+Quantifies the paper's Section 2.1 claim — "the cost of this recovery
+... generally increases as the computation progresses, making more
+reliable storage options more and more useful" — with the expected-cost
+model of :mod:`repro.core.reliability`:
+
+- expected pipeline cost under all-cheap vs all-durable vs the chosen
+  per-stage mix, as pipeline depth grows;
+- the break-even durability premium per stage (monotone increasing).
+"""
+
+import pytest
+from conftest import once, print_table
+
+from repro.core import (
+    PipelineReliabilityModel,
+    RetentionPolicy,
+    StageProfile,
+    StorageTier,
+    choose_tiers,
+    durable_premium_break_even,
+)
+
+CHEAP = StorageTier("1x-replica", cost_gb_hour=0.5e-4, loss_per_hour=0.01)
+DURABLE = StorageTier("3x-replica", cost_gb_hour=1.5e-4, loss_per_hour=1e-10)
+
+DEPTHS = (1, 2, 4, 6, 8)
+
+
+def stages_of_depth(n):
+    return [
+        StageProfile(f"stage{i}", exec_cost=8.0, exec_hours=1.0, output_gb=40.0)
+        for i in range(n)
+    ]
+
+
+def depth_sweep():
+    rows = {}
+    for depth in DEPTHS:
+        stages = stages_of_depth(depth)
+        model = PipelineReliabilityModel(
+            stages, RetentionPolicy.DISCARD_AFTER_USE
+        )
+        cheap = model.evaluate([CHEAP] * depth).total_cost
+        durable = model.evaluate([DURABLE] * depth).total_cost
+        chosen = choose_tiers(
+            stages, [CHEAP, DURABLE], RetentionPolicy.DISCARD_AFTER_USE
+        )
+        rows[depth] = (cheap, durable, chosen.outcome.total_cost,
+                       chosen.tier_names)
+    return rows
+
+
+def test_reliability_depth_sweep(benchmark):
+    rows = once(benchmark, depth_sweep)
+
+    table = [
+        (
+            depth,
+            f"${cheap:.2f}",
+            f"${durable:.2f}",
+            f"${chosen:.2f}",
+            "".join("D" if n == DURABLE.name else "c" for n in names),
+        )
+        for depth, (cheap, durable, chosen, names) in rows.items()
+    ]
+    print_table(
+        "Ablation: expected cost vs pipeline depth (c=cheap tier, D=durable)",
+        table,
+        ("depth", "all cheap", "all durable", "chosen mix", "pattern"),
+    )
+
+    for depth, (cheap, durable, chosen, _names) in rows.items():
+        # The chosen mix never loses to either uniform policy.
+        assert chosen <= cheap + 1e-9
+        assert chosen <= durable + 1e-9
+
+    # The penalty for ignoring reliability (all-cheap vs chosen) grows
+    # with pipeline depth: deeper cascades make losses costlier.
+    penalties = [
+        rows[d][0] - rows[d][2] for d in DEPTHS
+    ]
+    assert penalties[-1] > penalties[0]
+    assert all(
+        penalties[i] <= penalties[i + 1] + 1e-9
+        for i in range(len(penalties) - 1)
+    )
+
+
+def test_reliability_break_even_premium(benchmark):
+    stages = stages_of_depth(6)
+    premiums = once(
+        benchmark, lambda: durable_premium_break_even(stages, CHEAP)
+    )
+
+    print_table(
+        "Ablation: break-even durability premium per stage ($/GB/h)",
+        [(i, f"{p:.6f}") for i, p in enumerate(premiums)],
+        ("stage", "premium"),
+    )
+
+    # Paper Section 2.1: reliability grows more valuable with progress.
+    exposed = premiums[:-1]  # final stage has no downstream exposure
+    assert all(
+        exposed[i] <= exposed[i + 1] + 1e-12 for i in range(len(exposed) - 1)
+    )
+    assert exposed[-1] > exposed[0]

@@ -1,0 +1,29 @@
+"""Shared benchmark helpers.
+
+Every bench regenerates one figure of the paper's evaluation and prints
+the series/rows the paper reports; run with ``pytest benchmarks/
+--benchmark-only -s`` to see the tables.  Shape assertions (who wins, by
+roughly what factor) are part of each bench, so a regression in the
+reproduction fails loudly.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, rows: list[tuple], headers: tuple) -> None:
+    """Render a small fixed-width table to stdout."""
+    print(f"\n== {title} ==")
+    widths = [
+        max(len(str(headers[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Watching Conductor adapt to a mispredicted node speed (paper Fig. 12).
+
+The model believes m1.large instances process 1.44 GB/h; in reality they
+do 0.44 GB/h.  The job controller monitors progress, detects the
+shortfall after the first hour, rebuilds the model from the current
+system state, and triples the allocation — still meeting the deadline.
+
+Run:  python examples/adaptive_replanning.py
+"""
+
+from repro.cloud import public_cloud
+from repro.core import Goal, NetworkConditions, PlannerJob
+from repro.core.conditions import ActualConditions
+from repro.core.controller import ControllerConfig, JobController
+
+
+def main() -> None:
+    believed = [
+        s.replace(throughput_gb_per_hour=1.44) if s.name == "ec2.m1.large" else s
+        for s in public_cloud()
+    ]
+    controller = JobController(
+        PlannerJob(name="kmeans", input_gb=32.0),
+        believed,
+        Goal.min_cost(deadline_hours=6.0),
+        network=NetworkConditions.from_mbit_s(16.0),
+        config=ControllerConfig(split_mb=25.0),
+    )
+    reality = ActualConditions(
+        throughput_gb_per_hour={"ec2.m1.large": 0.44, "ec2.m1.xlarge": 0.30}
+    )
+
+    result = controller.run(reality)
+
+    print("initial plan (believed 1.44 GB/h per node):")
+    for hour, nodes in result.plans[0].node_allocation_series():
+        print(f"  hour {hour:.0f}: {nodes} nodes")
+    print("\nwhat actually ran (after adaptation):")
+    for hour, nodes in result.node_series:
+        print(f"  hour {hour:.0f}: {nodes} nodes")
+    print(f"\nre-plans:        {result.replans}")
+    print(f"completed:       {result.completed} at {result.completion_hours:.1f} h")
+    print(f"deadline met:    {result.deadline_met}")
+    print(f"total cost:      ${result.total_cost:.2f}")
+    print(f"tasks completed: {result.total_tasks}")
+
+    print("\njob progress (Fig. 12b):")
+    for hour, tasks in result.task_series:
+        bar = "#" * (tasks // 40)
+        print(f"  {hour:4.1f}h {tasks:5d} {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Planning over the full 2011 EC2 menu, with reserved instances.
+
+The paper's opening motivation: "for its EC2 service alone, Amazon
+offers eleven different types of VM instances, and it is unclear how a
+computation's performance will change if run on different instance
+types."  This example hands the planner that whole menu:
+
+1. print the eleven-type price sheet with projected vs Fig.-1-corrected
+   throughput (the divergence the paper measures);
+2. plan the 32 GB k-means job over the full menu and report which types
+   the LP actually selects;
+3. add a one-year reserved m1.large offer at several utilizations and
+   show where the reservation starts beating on-demand.
+
+Run:  python examples/instance_menu.py
+"""
+
+from repro.cloud import (
+    INSTANCE_SPECS,
+    RESERVED_M1_LARGE,
+    full_instance_catalog,
+    projected_throughput,
+    s3,
+)
+from repro.core import Goal, NetworkConditions, PlannerJob, plan_job
+
+
+def main() -> None:
+    print("== the eleven EC2 types of 2011 (Fig. 1 correction applied) ==")
+    print(f"{'type':>12}  {'ECU':>5}  {'$/h':>6}  {'projected':>9}  {'measured':>8}")
+    for spec in INSTANCE_SPECS:
+        print(
+            f"{spec.name:>12}  {spec.ecu:5.1f}  {spec.price_per_hour:6.3f}  "
+            f"{projected_throughput(spec.ecu):8.2f}   {spec.throughput():7.2f}"
+        )
+
+    job = PlannerJob(name="kmeans", input_gb=32.0)
+    network = NetworkConditions.from_mbit_s(16.0)
+    services = full_instance_catalog() + [s3()]
+    plan = plan_job(
+        job, services, Goal.min_cost(deadline_hours=6.0), network=network
+    )
+    print("\n== plan over the full menu (32 GB, 6 h deadline) ==")
+    print(f"  cost ${plan.predicted_cost:.2f}, "
+          f"finishes in {plan.predicted_completion_hours:.1f} h")
+    for service in services:
+        hours = plan.total_node_hours(service.name)
+        if hours > 0:
+            print(f"  uses {service.name}: {hours:.0f} node-hours")
+
+    print("\n== reserved m1.large (1-year, $910 upfront, $0.12/h) ==")
+    on_demand = 0.34
+    break_even = RESERVED_M1_LARGE.break_even_utilization(on_demand)
+    print(f"  break-even utilization vs on-demand: {break_even:.0%}")
+    for utilization in (0.25, 0.5, 0.75, 1.0):
+        rate = RESERVED_M1_LARGE.amortized_rate(utilization)
+        verdict = "reserved wins" if rate < on_demand else "on-demand wins"
+        print(f"  at {utilization:4.0%} utilization: ${rate:.3f}/h  ({verdict})")
+
+
+if __name__ == "__main__":
+    main()

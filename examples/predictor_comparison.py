@@ -1,0 +1,78 @@
+"""Spot price predictors: backtests and deployed-cost comparison.
+
+The paper's Fig. 14 uses three predictors (opt / p0 / window-max) and
+finds that on the patternless AWS trace, sophistication hurts.  This
+example extends the line-up with EWMA, seasonal-naive, AR(1) and
+quantile predictors, backtests everything on both synthetic trace
+families, then deploys the paper's k-means job under the two most
+interesting predictors and compares realized costs.
+
+Run:  python examples/predictor_comparison.py
+"""
+
+from repro.cloud.traces import aws_like_trace, electricity_like_trace
+from repro.core import (
+    CurrentPricePredictor,
+    MarginBidder,
+    NetworkConditions,
+    OptimalPredictor,
+    PlannerJob,
+    SeasonalNaivePredictor,
+    WindowMaxPredictor,
+    extended_predictor_suite,
+    forecast_errors,
+    run_spot_scenario,
+)
+
+
+def main() -> None:
+    traces = {
+        "electricity-like (diurnal)": electricity_like_trace(days=30, seed=7),
+        "aws-like (patternless)": aws_like_trace(days=30, seed=7),
+    }
+    predictors = (
+        [CurrentPricePredictor(), WindowMaxPredictor(5)]
+        + extended_predictor_suite()
+    )
+
+    print("== forecast backtest (12 h horizon, MAE in $/h) ==")
+    for trace_name, trace in traces.items():
+        print(f"\n  {trace_name}")
+        scored = sorted(
+            (forecast_errors(p, trace, horizon_hours=12)["mae"], p.name)
+            for p in predictors
+        )
+        for mae, name in scored:
+            print(f"    {name:>12}  {mae:.4f}")
+
+    # Deploy under the two headline predictors on the diurnal trace.
+    job = PlannerJob(name="kmeans", input_gb=8.0)
+    network = NetworkConditions.from_mbit_s(16.0)
+    trace = traces["electricity-like (diurnal)"]
+    offsets = [24.0 * day + 6 for day in range(1, 10)]
+    print("\n== deployed cost, 9 start offsets, diurnal trace ==")
+    lineup = [
+        OptimalPredictor(),
+        CurrentPricePredictor(),
+        SeasonalNaivePredictor(),
+        MarginBidder(CurrentPricePredictor(), margin=0.3),
+    ]
+    for predictor in lineup:
+        result = run_spot_scenario(
+            job,
+            trace,
+            predictor,
+            deadline_hours=12.0,
+            start_offsets=offsets,
+            network=network,
+        )
+        summary = result.summary
+        print(
+            f"  {predictor.name:>12}  avg ${summary['average']:5.2f}  "
+            f"max ${summary['maximum']:5.2f}  std {summary['stddev']:.2f}  "
+            f"replans {sum(result.replans)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: plan a MapReduce job's cloud deployment with Conductor.
+
+The customer only states the job (32 GB k-means) and the goal (cheapest
+deployment finishing within 6 hours); Conductor models the AWS service
+catalog as a linear program and returns the execution plan: how many
+instances to rent each hour, where to upload which data, when to read,
+reduce and download.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cloud import public_cloud
+from repro.core import Goal, NetworkConditions, PlannerJob, plan_job
+
+
+def main() -> None:
+    # The paper's evaluation job: 32 GB of k-means points, processed at
+    # 0.44 GB/h per m1.large node, over a 16 Mbit/s customer uplink.
+    job = PlannerJob(name="kmeans", input_gb=32.0)
+    network = NetworkConditions.from_mbit_s(16.0)
+
+    plan = plan_job(
+        job,
+        public_cloud(),               # EC2 m1.large/xlarge + S3, July 2011 prices
+        Goal.min_cost(deadline_hours=6.0),
+        network=network,
+    )
+
+    print(plan.describe())
+    print()
+    print(f"predicted cost:        ${plan.predicted_cost:.2f}")
+    print(f"predicted completion:  {plan.predicted_completion_hours:.1f} h")
+    print(f"peak instances:        {plan.peak_nodes()}")
+    print(f"total node-hours:      {plan.total_node_hours():.0f}")
+    print("cost breakdown:")
+    for key, value in sorted(plan.predicted_cost_breakdown.items()):
+        if value > 1e-4:
+            print(f"  {key:28s} ${value:.3f}")
+
+    # What would a 3-hour deadline cost instead?  (More parallelism, the
+    # same upload bottleneck.)
+    try:
+        rushed = plan_job(
+            job, public_cloud(), Goal.min_cost(deadline_hours=5.0), network=network
+        )
+        print(f"\nwith a 5 h deadline:   ${rushed.predicted_cost:.2f} "
+              f"(peak {rushed.peak_nodes()} instances)")
+    except Exception as exc:  # infeasible deadlines raise PlanningError
+        print(f"\n5 h deadline: {exc}")
+
+
+if __name__ == "__main__":
+    main()

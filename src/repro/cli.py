@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin front-end over the library for the workflows a Conductor user
+would actually run:
+
+- ``plan``      — print the optimal execution plan for a job;
+- ``deploy``    — run the full simulated deployment (Conductor or one of
+  the paper's baselines) and print the bill;
+- ``services``  — show or validate a service-description XML document;
+- ``spot``      — evaluate spot-market deployment under a predictor;
+- ``pig``       — compile a Pig-Latin script to MapReduce stages and
+  plan the multi-stage deployment;
+- ``export``    — write the generated linear program to a .lp/.mps file.
+
+Examples::
+
+    python -m repro plan --input-gb 32 --deadline 6
+    python -m repro plan --input-gb 32 --deadline 4 --local-nodes 5
+    python -m repro deploy --strategy conductor --input-gb 8 --deadline 3
+    python -m repro services --emit
+    python -m repro spot --trace electricity --predictor p5 --deadline 10
+    python -m repro pig script.pig --input-gb 24 --deadline 10
+    python -m repro export --input-gb 32 --deadline 6 model.lp
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .cloud import (
+    aws_like_trace,
+    electricity_like_trace,
+    hybrid_cloud,
+    load_services,
+    public_cloud,
+    to_xml,
+)
+from .core import (
+    CurrentPricePredictor,
+    DeploymentScenario,
+    Goal,
+    NetworkConditions,
+    OptimalPredictor,
+    PlannerJob,
+    WindowMaxPredictor,
+    plan_job,
+    run_conductor,
+    run_hadoop_direct,
+    run_hadoop_s3,
+    run_hadoop_upload_first,
+)
+from .core.spot_sim import run_spot_scenario
+
+_STRATEGIES = {
+    "conductor": run_conductor,
+    "hadoop-direct": run_hadoop_direct,
+    "hadoop-s3": run_hadoop_s3,
+    "hadoop-upload-first": run_hadoop_upload_first,
+}
+
+
+def _add_job_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--input-gb", type=float, default=32.0,
+                        help="input data size (default: the paper's 32 GB)")
+    parser.add_argument("--deadline", type=float, default=6.0,
+                        help="completion deadline in hours")
+    parser.add_argument("--uplink-mbit", type=float, default=16.0,
+                        help="customer uplink in Mbit/s")
+    parser.add_argument("--local-nodes", type=int, default=0,
+                        help="size of the customer's own cluster (hybrid)")
+
+
+def _services_for(args) -> list:
+    if getattr(args, "services_xml", None):
+        return load_services(args.services_xml)
+    if args.local_nodes > 0:
+        return hybrid_cloud(local_nodes=args.local_nodes)
+    return public_cloud()
+
+
+def cmd_plan(args) -> int:
+    job = PlannerJob(name="job", input_gb=args.input_gb)
+    try:
+        plan = plan_job(
+            job,
+            _services_for(args),
+            Goal.min_cost(deadline_hours=args.deadline),
+            network=NetworkConditions.from_mbit_s(args.uplink_mbit),
+        )
+    except Exception as exc:
+        print(f"planning failed: {exc}", file=sys.stderr)
+        return 1
+    print(plan.describe())
+    print(f"\npredicted cost:  ${plan.predicted_cost:.2f}")
+    print(f"peak instances:  {plan.peak_nodes()}")
+    for key, value in sorted(plan.predicted_cost_breakdown.items()):
+        if value > 1e-4:
+            print(f"  {key:28s} ${value:.3f}")
+    return 0
+
+
+def cmd_deploy(args) -> int:
+    from .cloud import local_cluster
+
+    scenario = DeploymentScenario(
+        input_gb=args.input_gb,
+        deadline_hours=args.deadline,
+        uplink_mbit_s=args.uplink_mbit,
+        local=local_cluster(args.local_nodes) if args.local_nodes else None,
+        local_nodes=args.local_nodes,
+    )
+    strategy = _STRATEGIES[args.strategy]
+    kwargs = {} if args.strategy == "conductor" else {"nodes": args.nodes}
+    result = strategy(scenario, **kwargs)
+    print(f"{result.name}: ${result.total_cost:.2f}, "
+          f"{result.runtime_s / 3600:.2f} h "
+          f"({'met' if result.deadline_met else 'MISSED'} the deadline)")
+    for key, value in sorted(result.cost_breakdown().items()):
+        if value > 1e-4:
+            print(f"  {key:20s} ${value:.3f}")
+    return 0
+
+
+def cmd_services(args) -> int:
+    if args.emit:
+        services = hybrid_cloud() if args.local_nodes else public_cloud()
+        print(to_xml(services))
+        return 0
+    if args.validate:
+        try:
+            services = load_services(args.validate)
+        except Exception as exc:
+            print(f"invalid: {exc}", file=sys.stderr)
+            return 1
+        print(f"ok: {len(services)} services")
+        for service in services:
+            kinds = "+".join(sorted(k.value for k in service.kinds))
+            print(f"  {service.name:20s} {kinds}")
+        return 0
+    print("use --emit or --validate PATH", file=sys.stderr)
+    return 2
+
+
+def cmd_spot(args) -> int:
+    trace = (
+        electricity_like_trace(days=args.days, seed=args.seed)
+        if args.trace == "electricity"
+        else aws_like_trace(days=args.days, seed=args.seed)
+    )
+    predictors = {
+        "opt": OptimalPredictor,
+        "p0": CurrentPricePredictor,
+    }
+    if args.predictor in predictors:
+        predictor = predictors[args.predictor]()
+    elif args.predictor.startswith("p"):
+        predictor = WindowMaxPredictor(int(args.predictor[1:]))
+    else:
+        print(f"unknown predictor {args.predictor!r}", file=sys.stderr)
+        return 2
+    result = run_spot_scenario(
+        PlannerJob(name="job", input_gb=args.input_gb),
+        trace,
+        predictor,
+        deadline_hours=args.deadline,
+    )
+    summary = result.summary
+    print(f"{result.label}: {len(result.costs)} runs")
+    print(f"  average ${summary['average']:.2f}  max ${summary['maximum']:.2f}  "
+          f"stddev {summary['stddev']:.2f}")
+    print(f"  re-plans per run: {result.replans}")
+    return 0
+
+
+def cmd_pig(args) -> int:
+    from .core import plan_pipeline
+    from .pig import PlanError, ParseError, compile_script
+
+    try:
+        with open(args.script, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"cannot read script: {exc}", file=sys.stderr)
+        return 1
+    try:
+        pipeline = compile_script(source)
+    except (ParseError, PlanError) as exc:
+        print(f"compile error: {exc}", file=sys.stderr)
+        return 1
+    print(pipeline.describe())
+    print(f"\npipeline depth: {pipeline.depth}")
+    loads = pipeline.plan.loads
+    input_gb = {load.path: args.input_gb / len(loads) for load in loads}
+    jobs = pipeline.to_planner_jobs(input_gb)
+    if args.compile_only:
+        for job in jobs:
+            print(f"  {job.name}: in={job.input_gb:.2f} GB "
+                  f"map_ratio={job.map_output_ratio:.4f} "
+                  f"reduce_ratio={job.reduce_output_ratio:.4f}")
+        return 0
+    try:
+        plan = plan_pipeline(
+            jobs,
+            _services_for(args),
+            Goal.min_cost(deadline_hours=args.deadline),
+            NetworkConditions.from_mbit_s(args.uplink_mbit),
+        )
+    except Exception as exc:
+        print(f"planning failed: {exc}", file=sys.stderr)
+        return 1
+    print()
+    print(plan.describe())
+    return 0
+
+
+def cmd_export(args) -> int:
+    from .core import PlanningProblem, build_model
+    from .lp import save
+
+    problem = PlanningProblem(
+        job=PlannerJob(name="job", input_gb=args.input_gb),
+        services=_services_for(args),
+        network=NetworkConditions.from_mbit_s(args.uplink_mbit),
+        goal=Goal.min_cost(deadline_hours=args.deadline),
+    )
+    built = build_model(problem)
+    try:
+        save(built.model, args.path)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    stats = built.model.stats()
+    print(f"wrote {args.path}: {stats['variables']} columns, "
+          f"{stats['constraints']} rows, {stats['integers']} integers")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Conductor (NSDI 2012) reproduction — plan and deploy "
+        "MapReduce jobs across cloud services",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    plan = commands.add_parser("plan", help="compute an execution plan")
+    _add_job_arguments(plan)
+    plan.add_argument("--services-xml", help="service catalog XML (Fig. 3 format)")
+    plan.set_defaults(handler=cmd_plan)
+
+    deploy = commands.add_parser("deploy", help="run a simulated deployment")
+    _add_job_arguments(deploy)
+    deploy.add_argument("--strategy", choices=sorted(_STRATEGIES), default="conductor")
+    deploy.add_argument("--nodes", type=int, default=16,
+                        help="node count for the Hadoop baselines")
+    deploy.set_defaults(handler=cmd_deploy)
+
+    services = commands.add_parser("services", help="emit/validate service XML")
+    services.add_argument("--emit", action="store_true")
+    services.add_argument("--validate", metavar="PATH")
+    services.add_argument("--local-nodes", type=int, default=0)
+    services.set_defaults(handler=cmd_services)
+
+    spot = commands.add_parser("spot", help="evaluate a spot-market scenario")
+    spot.add_argument("--trace", choices=("aws", "electricity"), default="aws")
+    spot.add_argument("--predictor", default="p0",
+                      help="opt, p0, or pN (window of N days)")
+    spot.add_argument("--days", type=int, default=10)
+    spot.add_argument("--seed", type=int, default=0)
+    spot.add_argument("--input-gb", type=float, default=32.0)
+    spot.add_argument("--deadline", type=float, default=10.0)
+    spot.set_defaults(handler=cmd_spot)
+
+    pig = commands.add_parser(
+        "pig", help="compile a Pig-Latin script and plan the pipeline"
+    )
+    pig.add_argument("script", help="path to the .pig script")
+    _add_job_arguments(pig)
+    pig.add_argument("--compile-only", action="store_true",
+                     help="show stages and per-stage jobs without planning")
+    pig.set_defaults(handler=cmd_pig)
+
+    export = commands.add_parser(
+        "export", help="write the generated LP to a .lp or .mps file"
+    )
+    export.add_argument("path", help="output file (.lp or .mps)")
+    _add_job_arguments(export)
+    export.set_defaults(handler=cmd_export)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

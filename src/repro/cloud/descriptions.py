@@ -1,0 +1,170 @@
+"""XML service-description format (paper Figure 3).
+
+Conductor generates its model "automatically from a description of cloud
+service offerings ... in a simple, human-readable XML-based format"
+(Section 4.2).  Providers or third parties would publish these files; the
+user adds descriptions of privately owned resources.
+
+Format::
+
+    <resources>
+      <resource>
+        <property name="name"><string>S3</string></property>
+        <property name="cost_get"><double>1.0E-6</double></property>
+        <property name="cost_put"><double>1.0E-5</double></property>
+        <property name="cost_tstore"><double>2.08333332E-4</double></property>
+        <property name="can_compute"><boolean>false</boolean></property>
+        <property name="storage_capacity"><int>-1</int></property>
+      </resource>
+    </resources>
+
+Unknown properties raise: a silently ignored price field would produce
+plans that look optimal and are not.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Iterable
+
+from .services import ServiceDescription
+
+#: XML property name -> (ServiceDescription field, type tag).
+_PROPERTIES: dict[str, tuple[str, str]] = {
+    "name": ("name", "string"),
+    "provider": ("provider", "string"),
+    "can_compute": ("can_compute", "boolean"),
+    "can_store": ("can_store", "boolean"),
+    "ecu": ("ecu_per_node", "double"),
+    "throughput": ("throughput_gb_per_hour", "double"),
+    "cost_node_hour": ("price_per_node_hour", "double"),
+    "billing_hours": ("billing_hours", "double"),
+    "disk_per_node": ("storage_gb_per_node", "double"),
+    "storage_capacity": ("storage_capacity_gb", "int"),
+    "cost_tstore": ("cost_tstore_gb_hour", "double"),
+    "cost_put": ("cost_put", "double"),
+    "cost_get": ("cost_get", "double"),
+    "avg_op_mb": ("avg_op_mb", "double"),
+    "cost_transfer_in": ("transfer_in_cost_gb", "double"),
+    "cost_transfer_out": ("transfer_out_cost_gb", "double"),
+    "max_nodes": ("max_nodes", "int"),
+    "is_spot": ("is_spot", "boolean"),
+    "internal_bw": ("internal_bw_mb_s", "double"),
+}
+
+_FIELD_TO_PROPERTY = {field: (prop, tag) for prop, (field, tag) in _PROPERTIES.items()}
+
+
+class DescriptionError(ValueError):
+    """Malformed or unknown content in a service description document."""
+
+
+def _parse_typed(element: ET.Element, prop: str) -> object:
+    child = list(element)
+    if len(child) != 1:
+        raise DescriptionError(f"property {prop!r} must contain exactly one value")
+    node = child[0]
+    text = (node.text or "").strip()
+    if node.tag == "string":
+        return text
+    if node.tag == "double":
+        return float(text)
+    if node.tag == "int":
+        return int(text)
+    if node.tag == "boolean":
+        if text.lower() in ("true", "1"):
+            return True
+        if text.lower() in ("false", "0"):
+            return False
+        raise DescriptionError(f"property {prop!r}: bad boolean {text!r}")
+    raise DescriptionError(f"property {prop!r}: unknown value tag <{node.tag}>")
+
+
+def parse_resource(element: ET.Element) -> ServiceDescription:
+    """Build one :class:`ServiceDescription` from a ``<resource>`` element."""
+    kwargs: dict[str, object] = {}
+    for prop_el in element.findall("property"):
+        prop = prop_el.get("name")
+        if prop is None:
+            raise DescriptionError("<property> without a name attribute")
+        if prop not in _PROPERTIES:
+            raise DescriptionError(f"unknown property {prop!r}")
+        field, expected_tag = _PROPERTIES[prop]
+        value = _parse_typed(prop_el, prop)
+        child_tag = list(prop_el)[0].tag
+        if child_tag != expected_tag:
+            raise DescriptionError(
+                f"property {prop!r}: expected <{expected_tag}>, got <{child_tag}>"
+            )
+        kwargs[field] = value
+    if "name" not in kwargs:
+        raise DescriptionError("<resource> is missing the 'name' property")
+    try:
+        return ServiceDescription(**kwargs)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise DescriptionError(f"invalid resource {kwargs.get('name')!r}: {exc}") from exc
+
+
+def parse_services(xml_text: str) -> list[ServiceDescription]:
+    """Parse a ``<resources>`` document into service descriptions."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise DescriptionError(f"not well-formed XML: {exc}") from exc
+    if root.tag != "resources":
+        raise DescriptionError(f"expected <resources> root, got <{root.tag}>")
+    services = [parse_resource(el) for el in root.findall("resource")]
+    if not services:
+        raise DescriptionError("document contains no <resource> elements")
+    return services
+
+
+def load_services(path: str) -> list[ServiceDescription]:
+    """Parse service descriptions from a file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_services(handle.read())
+
+
+def _format_value(value: object, tag: str) -> str:
+    if tag == "boolean":
+        return "true" if value else "false"
+    if tag == "int":
+        return str(int(value))  # type: ignore[arg-type]
+    if tag == "double":
+        return repr(float(value))  # type: ignore[arg-type]
+    return str(value)
+
+
+def to_xml(services: Iterable[ServiceDescription]) -> str:
+    """Serialize services back to the Fig. 3 document format.
+
+    Only fields differing from the dataclass defaults are emitted, keeping
+    the documents as terse as the paper's example.
+    """
+    import dataclasses
+
+    defaults = {
+        f.name: f.default
+        for f in dataclasses.fields(ServiceDescription)
+        if f.default is not dataclasses.MISSING
+    }
+    root = ET.Element("resources")
+    for service in services:
+        resource = ET.SubElement(root, "resource")
+        for field, (prop, tag) in (
+            (f, _FIELD_TO_PROPERTY[f]) for f in _FIELD_TO_PROPERTY
+        ):
+            value = getattr(service, field)
+            if field != "name" and field in defaults and value == defaults[field]:
+                continue
+            prop_el = ET.SubElement(resource, "property", {"name": prop})
+            value_el = ET.SubElement(prop_el, tag)
+            value_el.text = _format_value(value, tag)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def save_services(services: Iterable[ServiceDescription], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_xml(services))
+        handle.write("\n")

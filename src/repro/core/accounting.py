@@ -1,0 +1,7 @@
+"""Re-export shim: the cost ledger lives in :mod:`repro.accounting` (it is
+shared by the cluster substrate and the Conductor core, and keeping it
+top-level breaks an import cycle between the two)."""
+
+from ..accounting import CostCategory, CostLedger, LedgerEntry, combine
+
+__all__ = ["CostCategory", "CostLedger", "LedgerEntry", "combine"]

@@ -1,0 +1,62 @@
+"""Ground-truth runtime conditions, as opposed to the planner's beliefs.
+
+The paper's adaptation experiments hinge on the gap between what the
+model *assumed* (1.44 GB/h per node) and what the deployment *observed*
+(0.44 GB/h, Section 6.4), and between estimated and realized spot prices
+(Section 6.5).  :class:`ActualConditions` carries the ground truth the
+executor simulates against; the planner never sees it directly — only
+through monitoring observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..cloud.services import ServiceDescription
+from ..cloud.spot import SpotTrace
+
+
+@dataclass
+class ActualConditions:
+    """What the world is really like during deployment.
+
+    Attributes
+    ----------
+    throughput_gb_per_hour:
+        Actual per-node processing rate by service name; services absent
+        here perform exactly as their description claims.
+    uplink_factor / downlink_factor:
+        Multipliers on the believed WAN bandwidth (congestion: < 1).
+    spot_traces:
+        Realized market prices by (spot) service name.
+    spot_storage_volatile:
+        Whether data parked on spot-instance virtual disks is destroyed
+        when the instances are terminated by an out-bid hour (Section
+        2.1's fault concern).  True is the faithful AWS behaviour; the
+        spot-storage ablation toggles it.
+    """
+
+    throughput_gb_per_hour: Mapping[str, float] = field(default_factory=dict)
+    uplink_factor: float = 1.0
+    downlink_factor: float = 1.0
+    spot_traces: Mapping[str, SpotTrace] = field(default_factory=dict)
+    spot_storage_volatile: bool = True
+
+    def actual_rate(self, service: ServiceDescription, believed_scale: float = 1.0) -> float:
+        """Actual map-phase GB/h per node for ``service``."""
+        if service.name in self.throughput_gb_per_hour:
+            return self.throughput_gb_per_hour[service.name] * believed_scale
+        return service.throughput_gb_per_hour * believed_scale
+
+    def spot_price(self, service: ServiceDescription, hour: float) -> float:
+        """Realized hourly price for a (possibly spot) service."""
+        trace = self.spot_traces.get(service.name)
+        if service.is_spot and trace is not None:
+            return trace.price_at(hour)
+        return service.price_per_node_hour
+
+    @classmethod
+    def as_predicted(cls) -> "ActualConditions":
+        """The world behaves exactly as the model assumed."""
+        return cls()

@@ -1,0 +1,340 @@
+"""The job controller: deploy, monitor, adapt (paper Sections 5.2, 5.4).
+
+The controller closes the loop the paper describes:
+
+1. generate a model and solve it for an execution plan;
+2. deploy the plan interval by interval (through the fluid executor);
+3. monitor execution progress and spot prices;
+4. on significant deviation — slower/faster nodes than modeled, out-bid
+   spot instances, mispredicted prices — rebuild the model *from the
+   current system state* and continue with the updated plan.
+
+Fig. 12 of the paper is exactly one run of this loop with a 3.3×
+throughput misprediction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cloud.spot import SpotTrace
+from ..units import MB_PER_GB
+from .accounting import CostLedger
+from .conditions import ActualConditions
+from .executor import FluidExecutor, IntervalOutcome
+from .model_builder import PlanningError
+from .plan import ExecutionPlan
+from .planner import Planner
+from .predictor import SpotPredictor
+from .problem import (
+    Goal,
+    NetworkConditions,
+    PlannerJob,
+    PlanningProblem,
+    SystemState,
+)
+
+_EPS = 1e-9
+
+
+@dataclass
+class ControllerConfig:
+    """Monitoring and adaptation policy knobs."""
+
+    #: Relative progress shortfall (vs. plan) that triggers re-planning.
+    deviation_threshold: float = 0.15
+    #: Relative spot price misestimate that triggers re-planning.
+    price_deviation_threshold: float = 0.25
+    #: Relative node-rate misestimate that updates beliefs and re-plans.
+    rate_deviation_threshold: float = 0.15
+    #: Hard cap on re-planning rounds (runaway guard).
+    max_replans: int = 64
+    #: When the remaining deadline is infeasible, extend the horizon by
+    #: this factor per attempt (the job then *misses* the deadline but
+    #: still completes, as a real deployment would).
+    horizon_extension: float = 1.5
+    max_horizon_factor: float = 4.0
+    #: Map task size used for the completed-task series (Fig. 12b).
+    split_mb: float = 64.0
+
+
+@dataclass
+class ControllerResult:
+    """Full record of a controlled deployment."""
+
+    completed: bool
+    completion_hours: float
+    total_cost: float
+    ledger: CostLedger
+    outcomes: list[IntervalOutcome]
+    #: Plan history: plans[0] is the initial plan, one entry per re-plan.
+    plans: list[ExecutionPlan]
+    replans: int
+    deadline_hours: float
+    deadline_met: bool
+    final_state: SystemState
+    #: (hour, total allocated nodes) step series — Fig. 12a.
+    node_series: list[tuple[float, int]] = field(default_factory=list)
+    #: (hour, completed tasks) series — Fig. 12b.
+    task_series: list[tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def total_tasks(self) -> int:
+        return self.task_series[-1][1] if self.task_series else 0
+
+
+class JobController:
+    """Owns one job's deployment from submission to completion."""
+
+    def __init__(
+        self,
+        job: PlannerJob,
+        services,
+        goal: Goal,
+        network: NetworkConditions | None = None,
+        planner: Planner | None = None,
+        config: ControllerConfig | None = None,
+        predictor: SpotPredictor | None = None,
+        trace: SpotTrace | None = None,
+        trace_offset_hours: float = 0.0,
+        problem_kwargs: dict | None = None,
+    ) -> None:
+        self.job = job
+        self.services = list(services)
+        self.goal = goal
+        self.network = network or NetworkConditions()
+        self.planner = planner or Planner()
+        self.config = config or ControllerConfig()
+        self.predictor = predictor
+        self.trace = trace
+        self.trace_offset_hours = trace_offset_hours
+        self.problem_kwargs = dict(problem_kwargs or {})
+        self._spot_names = [s.name for s in self.services if s.is_spot]
+        if self._spot_names and (predictor is None or trace is None):
+            raise ValueError("spot services require a predictor and a trace")
+        #: Believed per-node throughputs, updated from observations.
+        self._believed: dict[str, float] = {
+            s.name: s.throughput_gb_per_hour for s in self.services
+        }
+
+    # -- public ------------------------------------------------------------
+
+    def run(self, actual: ActualConditions | None = None) -> ControllerResult:
+        """Deploy the job against ``actual`` conditions until completion."""
+        actual = actual or ActualConditions.as_predicted()
+        config = self.config
+        deadline = float(self.goal.deadline_hours or 0.0)
+        state = SystemState.initial(self.job)
+        ledger = CostLedger()
+        outcomes: list[IntervalOutcome] = []
+        plans: list[ExecutionPlan] = []
+        node_series: list[tuple[float, int]] = []
+        task_series: list[tuple[float, int]] = [(0.0, 0)]
+        replans = 0
+        max_hours = deadline * config.max_horizon_factor
+
+        plan, estimates = self._plan(state)
+        plans.append(plan)
+        executor = self._executor(state, actual, ledger)
+
+        while not executor.is_complete(state) and state.hour < max_hours - _EPS:
+            interval = plan.interval_at(state.hour)
+            self._update_bids(executor, state)
+            outcome = executor.execute_interval(interval, state)
+            outcomes.append(outcome)
+            node_series.append((outcome.start_hour, sum(outcome.nodes.values())))
+            task_series.append((state.hour, self._completed_tasks(state)))
+
+            if executor.is_complete(state):
+                break
+            reason = self._deviation_reason(outcome, estimates, state)
+            if reason and replans < config.max_replans:
+                self._learn_rates(outcome)
+                try:
+                    plan, estimates = self._plan(state)
+                except PlanningError:
+                    plan, estimates = self._plan_with_extension(state)
+                plans.append(plan)
+                replans += 1
+                executor = self._executor(state, actual, ledger)
+            elif state.hour >= plan.intervals[-1].end_hour - _EPS:
+                # Plan exhausted but work remains (e.g. persistent out-bid):
+                # force a re-plan to keep making progress.
+                if replans >= config.max_replans:
+                    break
+                try:
+                    plan, estimates = self._plan(state)
+                except PlanningError:
+                    plan, estimates = self._plan_with_extension(state)
+                plans.append(plan)
+                replans += 1
+                executor = self._executor(state, actual, ledger)
+
+        completed = executor.is_complete(state)
+        return ControllerResult(
+            completed=completed,
+            completion_hours=state.hour,
+            total_cost=ledger.total(),
+            ledger=ledger,
+            outcomes=outcomes,
+            plans=plans,
+            replans=replans,
+            deadline_hours=deadline,
+            deadline_met=completed and state.hour <= deadline + _EPS,
+            final_state=state,
+            node_series=node_series,
+            task_series=task_series,
+        )
+
+    def _executor(self, state, actual, ledger) -> FluidExecutor:
+        executor = FluidExecutor(
+            self._problem(state), actual, ledger,
+            hour_offset=self.trace_offset_hours,
+        )
+        return executor
+
+    # -- planning ------------------------------------------------------------
+
+    def _believed_services(self):
+        return [
+            s.replace(throughput_gb_per_hour=self._believed[s.name])
+            if s.can_compute
+            else s
+            for s in self.services
+        ]
+
+    def _problem(
+        self, state: SystemState, deadline_override: float | None = None
+    ) -> PlanningProblem:
+        deadline = float(self.goal.deadline_hours or 0.0)
+        remaining = (deadline_override or deadline) - state.hour
+        remaining = max(remaining, 1.0)
+        goal = Goal(
+            kind=self.goal.kind,
+            deadline_hours=remaining,
+            budget_usd=self.goal.budget_usd,
+        )
+        estimates = self._spot_estimates(state, math.ceil(remaining))
+        # Re-planning starts from a snapshot whose clock is zeroed for the
+        # model (interval indices restart) but keeps absolute placement.
+        snapshot = SystemState(
+            hour=state.hour,
+            source_remaining_gb=state.source_remaining_gb,
+            stored_input=dict(state.stored_input),
+            stored_output=dict(state.stored_output),
+            stored_result=dict(state.stored_result),
+            map_done_gb=state.map_done_gb,
+            reduce_done_gb=state.reduce_done_gb,
+            downloaded_gb=state.downloaded_gb,
+        )
+        return PlanningProblem(
+            job=self.job,
+            services=self._believed_services(),
+            network=self.network,
+            goal=goal,
+            state=snapshot,
+            spot_price_estimates=estimates,
+            **self.problem_kwargs,
+        )
+
+    def _plan(self, state: SystemState) -> tuple[ExecutionPlan, dict[str, np.ndarray]]:
+        problem = self._problem(state)
+        plan = self.planner.plan(problem)
+        return plan, dict(problem.spot_price_estimates)
+
+    def _plan_with_extension(
+        self, state: SystemState
+    ) -> tuple[ExecutionPlan, dict[str, np.ndarray]]:
+        """Remaining deadline infeasible: extend the horizon until a plan
+        exists (the deployment will miss the deadline but finish)."""
+        deadline = float(self.goal.deadline_hours or 0.0)
+        horizon = max(deadline, state.hour + 1.0)
+        last_error: PlanningError | None = None
+        while horizon <= deadline * self.config.max_horizon_factor:
+            horizon = math.ceil(horizon * self.config.horizon_extension)
+            try:
+                problem = self._problem(state, deadline_override=float(horizon))
+                return self.planner.plan(problem), dict(problem.spot_price_estimates)
+            except PlanningError as exc:
+                last_error = exc
+        raise PlanningError(
+            f"no feasible plan within {self.config.max_horizon_factor}x deadline"
+        ) from last_error
+
+    def _spot_estimates(self, state: SystemState, horizon: int) -> dict:
+        if not self._spot_names or self.predictor is None or self.trace is None:
+            return {}
+        now = self.trace_offset_hours + state.hour
+        estimate = self.predictor.estimate(self.trace, now, horizon)
+        return {name: estimate for name in self._spot_names}
+
+    # -- monitoring ------------------------------------------------------------
+
+    def _update_bids(self, executor: FluidExecutor, state: SystemState) -> None:
+        if not self._spot_names or self.predictor is None or self.trace is None:
+            return
+        now = self.trace_offset_hours + state.hour
+        by_name = {s.name: s for s in self.services}
+        for name in self._spot_names:
+            bid = self.predictor.bid(self.trace, now)
+            # Never bid above the on-demand price: past that point the
+            # customer would simply rent regular instances instead.
+            ceiling = by_name[name].price_per_node_hour
+            if ceiling > 0:
+                bid = min(bid, ceiling)
+            executor.bids[name] = bid
+
+    def _deviation_reason(
+        self,
+        outcome: IntervalOutcome,
+        estimates: dict[str, np.ndarray],
+        state: SystemState,
+    ) -> str | None:
+        config = self.config
+        if outcome.outbid_services:
+            return f"out-bid on {','.join(outcome.outbid_services)}"
+        if outcome.spot_data_lost_gb > 1e-6:
+            return f"spot storage loss of {outcome.spot_data_lost_gb:.1f} GB"
+        if outcome.map_shortfall > config.deviation_threshold:
+            return f"progress shortfall {outcome.map_shortfall:.0%}"
+        for name, observed in outcome.observed_rates.items():
+            believed = self._believed.get(name, 0.0) * self.job.throughput_scale
+            if believed <= 0:
+                continue
+            rel = abs(observed - believed) / believed
+            if rel > config.rate_deviation_threshold:
+                return f"rate deviation on {name}: {rel:.0%}"
+        if self.trace is not None and self._spot_names and estimates:
+            now = self.trace_offset_hours + outcome.start_hour
+            realized = self.trace.price_at(now)
+            for name in self._spot_names:
+                series = estimates.get(name)
+                if series is None or len(series) == 0:
+                    continue
+                expected = float(series[0]) if outcome.index <= 1 else float(
+                    series[min(outcome.index - 1, len(series) - 1)]
+                )
+                if expected > 0 and abs(realized - expected) / expected > (
+                    config.price_deviation_threshold
+                ):
+                    return f"spot price deviation on {name}"
+        return None
+
+    def _learn_rates(self, outcome: IntervalOutcome) -> None:
+        """Fold observed per-node rates back into the model's beliefs."""
+        for name, observed in outcome.observed_rates.items():
+            if observed > 0:
+                self._believed[name] = observed / self.job.throughput_scale
+
+    def _completed_tasks(self, state: SystemState) -> int:
+        split_gb = self.config.split_mb / MB_PER_GB
+        map_tasks = int(state.map_done_gb / split_gb + 1e-6)
+        reduce_tasks = 0
+        if self.job.map_output_gb > _EPS:
+            total_reducers = max(1, int(round(self.job.map_output_gb / split_gb)) or 1)
+            frac = state.reduce_done_gb / self.job.map_output_gb
+            reduce_tasks = int(frac * total_reducers + 1e-6)
+        return map_tasks + reduce_tasks

@@ -1,0 +1,206 @@
+"""Execution plans: the solver's answer, in deployable form.
+
+An :class:`ExecutionPlan` is the bridge between the planner and the job
+controller: per interval it records how many nodes to rent from each
+compute service, what to upload where, which storage each compute service
+reads from / writes to, migrations, and downloads — exactly the decisions
+the paper's controller forwards to the storage layer and the allocation
+APIs (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+_EPS = 1e-6
+
+
+@dataclass
+class PlanInterval:
+    """Planned actions during one LP time interval."""
+
+    index: int
+    start_hour: float
+    duration_hours: float
+    #: compute service -> nodes rented during the interval.
+    nodes: dict[str, int] = field(default_factory=dict)
+    #: storage service -> GB uploaded from the source.
+    upload_gb: dict[str, float] = field(default_factory=dict)
+    #: (storage, compute) -> GB of map input processed.
+    map_read_gb: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: (compute, storage) -> GB of map output written.
+    map_write_gb: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: (storage, compute) -> GB of map output consumed by reduce.
+    reduce_read_gb: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: (compute, storage) -> GB of final result written.
+    reduce_write_gb: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: (from storage, to storage) -> GB migrated (arrives next interval).
+    migrate_gb: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: storage service -> GB downloaded to the client.
+    download_gb: dict[str, float] = field(default_factory=dict)
+    #: storage service -> GB held at the *end* of the interval.
+    stored_gb: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def end_hour(self) -> float:
+        return self.start_hour + self.duration_hours
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(self.nodes.values())
+
+    @property
+    def map_gb(self) -> float:
+        return sum(self.map_read_gb.values())
+
+    @property
+    def reduce_gb(self) -> float:
+        return sum(self.reduce_read_gb.values())
+
+    @property
+    def total_upload_gb(self) -> float:
+        return sum(self.upload_gb.values())
+
+    @property
+    def total_download_gb(self) -> float:
+        return sum(self.download_gb.values())
+
+    def is_idle(self) -> bool:
+        """True when nothing happens in the interval."""
+        return (
+            self.total_nodes == 0
+            and self.total_upload_gb < _EPS
+            and self.map_gb < _EPS
+            and self.reduce_gb < _EPS
+            and self.total_download_gb < _EPS
+            and sum(self.migrate_gb.values()) < _EPS
+        )
+
+
+@dataclass
+class ExecutionPlan:
+    """A complete deployment plan plus the model's cost prediction."""
+
+    intervals: list[PlanInterval]
+    predicted_cost: float
+    predicted_cost_breakdown: dict[str, float]
+    #: Hours from plan start to predicted completion (download finished).
+    predicted_completion_hours: float
+    objective_value: float
+    solver_status: str
+    solve_seconds: float
+    model_stats: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.intervals:
+            raise ValueError("a plan needs at least one interval")
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def horizon_hours(self) -> float:
+        return self.intervals[-1].end_hour
+
+    def interval_at(self, hour: float) -> PlanInterval:
+        """The interval covering absolute hour ``hour``."""
+        for interval in self.intervals:
+            if interval.start_hour - _EPS <= hour < interval.end_hour - _EPS:
+                return interval
+        return self.intervals[-1]
+
+    def nodes_at(self, hour: float) -> dict[str, int]:
+        return dict(self.interval_at(hour).nodes)
+
+    def peak_nodes(self, service: str | None = None) -> int:
+        """Max concurrent nodes (optionally for one service)."""
+        def count(interval: PlanInterval) -> int:
+            if service is None:
+                return interval.total_nodes
+            return interval.nodes.get(service, 0)
+
+        return max(count(i) for i in self.intervals)
+
+    def total_node_hours(self, service: str | None = None) -> float:
+        total = 0.0
+        for interval in self.intervals:
+            nodes = (
+                interval.total_nodes
+                if service is None
+                else interval.nodes.get(service, 0)
+            )
+            total += nodes * interval.duration_hours
+        return total
+
+    def total_uploaded_gb(self, service: str | None = None) -> float:
+        total = 0.0
+        for interval in self.intervals:
+            if service is None:
+                total += interval.total_upload_gb
+            else:
+                total += interval.upload_gb.get(service, 0.0)
+        return total
+
+    def total_map_gb(self) -> float:
+        return sum(i.map_gb for i in self.intervals)
+
+    def total_reduce_gb(self) -> float:
+        return sum(i.reduce_gb for i in self.intervals)
+
+    def total_downloaded_gb(self) -> float:
+        return sum(i.total_download_gb for i in self.intervals)
+
+    def node_allocation_series(self, service: str | None = None) -> list[tuple[float, int]]:
+        """(start_hour, nodes) pairs — the paper's Fig. 12a series."""
+        series = []
+        for interval in self.intervals:
+            nodes = (
+                interval.total_nodes
+                if service is None
+                else interval.nodes.get(service, 0)
+            )
+            series.append((interval.start_hour, nodes))
+        return series
+
+    def describe(self) -> str:
+        """Human-readable plan table (one row per non-idle interval)."""
+        lines = [
+            f"plan: cost=${self.predicted_cost:.2f} "
+            f"completion={self.predicted_completion_hours:.2f}h "
+            f"status={self.solver_status}",
+            f"{'t':>4} {'nodes':>18} {'upload':>10} {'map':>8} "
+            f"{'reduce':>8} {'download':>9}",
+        ]
+        for interval in self.intervals:
+            if interval.is_idle():
+                continue
+            nodes = ",".join(
+                f"{name.split('.')[-1]}={n}"
+                for name, n in sorted(interval.nodes.items())
+                if n > 0
+            ) or "-"
+            lines.append(
+                f"{interval.start_hour:>4.1f} {nodes:>18} "
+                f"{interval.total_upload_gb:>9.2f}G {interval.map_gb:>7.2f}G "
+                f"{interval.reduce_gb:>7.3f}G {interval.total_download_gb:>8.3f}G"
+            )
+        return "\n".join(lines)
+
+
+def merge_plans(prefix: ExecutionPlan, suffix: ExecutionPlan) -> ExecutionPlan:
+    """Concatenate an executed prefix with a re-planned suffix (Fig. 12a's
+    "updated plan" is the old prefix followed by the new intervals)."""
+    cut = suffix.intervals[0].start_hour
+    kept = [i for i in prefix.intervals if i.start_hour < cut - _EPS]
+    intervals = kept + suffix.intervals
+    return ExecutionPlan(
+        intervals=intervals,
+        predicted_cost=suffix.predicted_cost,
+        predicted_cost_breakdown=dict(suffix.predicted_cost_breakdown),
+        predicted_completion_hours=suffix.predicted_completion_hours,
+        objective_value=suffix.objective_value,
+        solver_status=suffix.solver_status,
+        solve_seconds=prefix.solve_seconds + suffix.solve_seconds,
+        model_stats=dict(suffix.model_stats),
+    )

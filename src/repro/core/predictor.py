@@ -1,0 +1,103 @@
+"""Spot price predictors (paper Sections 4.7 and 6.5).
+
+A predictor produces, at planning time, the estimated prices
+``E[b(i,t)]`` that enter the plan's objective (eq. 6), plus the bid to
+submit while holding instances.  The paper evaluates:
+
+- ``-opt``: an oracle that knows future prices exactly (upper bound on
+  achievable savings);
+- ``-p0``: "the predictor assumes the current spot price will not
+  change";
+- ``-pX``: "uses the past X days of spot pricing history" — we estimate
+  each future hour by the *maximum* price observed at the same hour of
+  day over the window, the conservative bid basis the paper describes
+  ("the maximum spot price of the last n hours as a basis to compute a
+  bid").
+
+On the diurnal electricity-style trace, the window predictor tracks the
+daily cycle; on the patternless AWS trace, spikes inside the window
+inflate estimates and make the planner "wait for a better spot price ...
+and end up waiting in vain" (Section 6.5).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..cloud.spot import SpotTrace
+
+
+class SpotPredictor(abc.ABC):
+    """Interface: estimate future hourly prices and derive a bid."""
+
+    #: Label used in result tables (matches the paper's scenario names).
+    name: str = "predictor"
+
+    @abc.abstractmethod
+    def estimate(self, trace: SpotTrace, now_hour: float, horizon_hours: int) -> np.ndarray:
+        """Estimated price per future hour ``[now, now + horizon)``."""
+
+    def bid(self, trace: SpotTrace, now_hour: float) -> float:
+        """Bid to submit for the hour starting at ``now_hour``.
+
+        Default: the estimate for the immediate hour.  Instances survive
+        while the market stays at or below this.
+        """
+        return float(self.estimate(trace, now_hour, 1)[0])
+
+
+class OptimalPredictor(SpotPredictor):
+    """Oracle: returns the actual future prices (the ``-opt`` scenarios)."""
+
+    name = "opt"
+
+    def estimate(self, trace: SpotTrace, now_hour: float, horizon_hours: int) -> np.ndarray:
+        return np.asarray(
+            [trace.price_at(now_hour + h) for h in range(horizon_hours)]
+        )
+
+
+class CurrentPricePredictor(SpotPredictor):
+    """``-p0``: the current price persists forever."""
+
+    name = "p0"
+
+    def estimate(self, trace: SpotTrace, now_hour: float, horizon_hours: int) -> np.ndarray:
+        return np.full(horizon_hours, trace.price_at(now_hour))
+
+
+class WindowMaxPredictor(SpotPredictor):
+    """``-pX``: conservative same-hour-of-day maximum over the last X days.
+
+    For a future hour ``h`` the estimate is the maximum of the prices at
+    the same time of day over the past ``window_days`` days; hours with no
+    history fall back to the current price.
+    """
+
+    def __init__(self, window_days: int) -> None:
+        if window_days < 1:
+            raise ValueError("window_days must be >= 1")
+        self.window_days = window_days
+        self.name = f"p{window_days}"
+
+    def estimate(self, trace: SpotTrace, now_hour: float, horizon_hours: int) -> np.ndarray:
+        current = trace.price_at(now_hour)
+        estimates = np.empty(horizon_hours)
+        for h in range(horizon_hours):
+            future = now_hour + h
+            samples = [
+                trace.price_at(future - 24 * day)
+                for day in range(1, self.window_days + 1)
+                if future - 24 * day >= trace.start_hour
+            ]
+            estimates[h] = max(samples) if samples else current
+        return estimates
+
+
+def predictor_suite(windows: tuple[int, ...] = (5, 13)) -> list[SpotPredictor]:
+    """The paper's Fig. 14 predictor line-up: opt, p0, p5, p13."""
+    suite: list[SpotPredictor] = [OptimalPredictor(), CurrentPricePredictor()]
+    suite.extend(WindowMaxPredictor(days) for days in windows)
+    return suite

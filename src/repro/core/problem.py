@@ -1,0 +1,291 @@
+"""Planning problem definitions: job, network, system state, goals.
+
+These dataclasses are the input vocabulary of Conductor's planner.  A
+:class:`PlanningProblem` bundles everything the LP model builder needs:
+the MapReduce job's aggregate characteristics (:class:`PlannerJob`), the
+candidate services, network conditions, the optimization goal, and —
+when re-planning mid-run (Section 5.4) — a :class:`SystemState` snapshot
+of where data and work currently stand.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..cloud.services import ServiceDescription
+from ..units import mb_s_to_gb_h, mbit_s_to_mb_s
+
+
+@dataclass(frozen=True)
+class PlannerJob:
+    """Aggregate description of a MapReduce job, as the planner sees it.
+
+    The paper restricts Conductor to MapReduce (Section 4.1) precisely
+    because the whole job is then describable by a handful of numbers:
+    how much data flows into the map phase, how much comes out, and how
+    fast nodes chew through it.
+
+    Attributes
+    ----------
+    input_gb:
+        Input data size at the source (paper: 32 GB of k-means points).
+    map_output_ratio:
+        Map-output bytes per input byte.  k-means emits tiny partial
+        centroid sums: ~0.002 of the input.
+    reduce_output_ratio:
+        Reduce-output bytes per map-output byte.
+    throughput_scale:
+        Job-specific multiplier on each service's calibrated
+        ``throughput_gb_per_hour`` (1.0 means the calibration workload).
+    reduce_speed_factor:
+        Reduce phase processes its (small) input at this multiple of the
+        map rate.
+    """
+
+    name: str = "job"
+    input_gb: float = 32.0
+    map_output_ratio: float = 0.002
+    reduce_output_ratio: float = 1.0
+    throughput_scale: float = 1.0
+    reduce_speed_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.input_gb <= 0:
+            raise ValueError("input_gb must be positive")
+        if self.map_output_ratio < 0 or self.reduce_output_ratio < 0:
+            raise ValueError("output ratios must be non-negative")
+        if self.throughput_scale <= 0 or self.reduce_speed_factor <= 0:
+            raise ValueError("speed factors must be positive")
+
+    @property
+    def map_output_gb(self) -> float:
+        return self.input_gb * self.map_output_ratio
+
+    @property
+    def result_gb(self) -> float:
+        return self.map_output_gb * self.reduce_output_ratio
+
+    def map_rate(self, service: ServiceDescription) -> float:
+        """Per-node map-phase throughput on ``service``, GB input/hour."""
+        return service.throughput_gb_per_hour * self.throughput_scale
+
+    def reduce_rate(self, service: ServiceDescription) -> float:
+        """Per-node reduce-phase throughput, GB of map output/hour."""
+        return self.map_rate(service) * self.reduce_speed_factor
+
+
+@dataclass(frozen=True)
+class NetworkConditions:
+    """WAN/LAN capacities visible to the planner, in GB/hour.
+
+    The paper's default setup: a 16 Mbit/s customer uplink (Section 6.1).
+    Uploads to the customer's *local* provider do not traverse the WAN.
+    """
+
+    uplink_gb_per_hour: float = mb_s_to_gb_h(mbit_s_to_mb_s(16.0))
+    downlink_gb_per_hour: float = mb_s_to_gb_h(mbit_s_to_mb_s(16.0))
+    #: Source -> local-cluster bandwidth (LAN, effectively unconstrained
+    #: at one-hour granularity).
+    local_gb_per_hour: float = mb_s_to_gb_h(100.0)
+    #: Aggregate inter-service bandwidth inside the cloud (S3 <-> EC2).
+    interservice_gb_per_hour: float = mb_s_to_gb_h(400.0)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "uplink_gb_per_hour",
+            "downlink_gb_per_hour",
+            "local_gb_per_hour",
+            "interservice_gb_per_hour",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @classmethod
+    def from_mbit_s(cls, uplink_mbit_s: float, **kwargs) -> "NetworkConditions":
+        """Build conditions from an uplink in Mbit/s (paper convention)."""
+        rate = mb_s_to_gb_h(mbit_s_to_mb_s(uplink_mbit_s))
+        kwargs.setdefault("downlink_gb_per_hour", rate)
+        return cls(uplink_gb_per_hour=rate, **kwargs)
+
+
+@dataclass
+class SystemState:
+    """Snapshot of an in-flight job, the starting point for (re-)planning.
+
+    A fresh job is ``SystemState.initial(job)``.  The job controller
+    produces updated snapshots as execution progresses so that
+    re-planning (Section 5.4) optimizes only the remaining work.
+    """
+
+    #: Absolute elapsed hours since job submission (indexes spot traces).
+    hour: float = 0.0
+    source_remaining_gb: float = 0.0
+    stored_input: dict[str, float] = field(default_factory=dict)
+    stored_output: dict[str, float] = field(default_factory=dict)
+    stored_result: dict[str, float] = field(default_factory=dict)
+    map_done_gb: float = 0.0
+    reduce_done_gb: float = 0.0
+    downloaded_gb: float = 0.0
+
+    @classmethod
+    def initial(cls, job: PlannerJob) -> "SystemState":
+        return cls(source_remaining_gb=job.input_gb)
+
+    def validate_against(self, job: PlannerJob, tol: float = 1e-6) -> None:
+        """Check conservation: every byte of input/output is somewhere.
+
+        An inconsistent snapshot would surface as an opaque "infeasible"
+        from the solver; failing here names the violated invariant.
+        """
+        placed = self.source_remaining_gb + sum(self.stored_input.values())
+        if placed + self.map_done_gb > job.input_gb + tol:
+            raise ValueError(
+                f"state places {placed + self.map_done_gb:.3f} GB of input "
+                f"but the job only has {job.input_gb:.3f} GB"
+            )
+        if self.reduce_done_gb > self.map_done_gb * job.map_output_ratio + tol:
+            raise ValueError("more data reduced than the map phase produced")
+        # Map output already produced must be stored or already reduced,
+        # or the remaining reduce work could never be satisfied.
+        produced = self.map_done_gb * job.map_output_ratio
+        held = sum(self.stored_output.values()) + self.reduce_done_gb
+        if held < produced - max(tol, 1e-4 * max(produced, 1.0)):
+            raise ValueError(
+                f"{produced - held:.4f} GB of map output is unaccounted for "
+                "(stored_output + reduce_done must cover map_done * ratio)"
+            )
+        # Same for reduce output vs downloads.
+        result_produced = self.reduce_done_gb * job.reduce_output_ratio
+        result_held = sum(self.stored_result.values()) + self.downloaded_gb
+        if result_held < result_produced - max(tol, 1e-4 * max(result_produced, 1.0)):
+            raise ValueError("reduce output is unaccounted for in the state")
+
+
+class GoalKind(enum.Enum):
+    """The customer's optimization objective (paper Sections 1-3)."""
+
+    MINIMIZE_COST = "minimize-cost"
+    MINIMIZE_TIME = "minimize-time"
+
+
+@dataclass(frozen=True)
+class Goal:
+    """An optimization goal with its constraint.
+
+    ``Goal.min_cost(deadline_hours=6)`` — cheapest plan meeting a deadline.
+    ``Goal.min_time(budget_usd=30)`` — fastest plan within a budget.
+    """
+
+    kind: GoalKind
+    deadline_hours: float | None = None
+    budget_usd: float | None = None
+
+    @classmethod
+    def min_cost(cls, deadline_hours: float) -> "Goal":
+        if deadline_hours <= 0:
+            raise ValueError("deadline must be positive")
+        return cls(GoalKind.MINIMIZE_COST, deadline_hours=deadline_hours)
+
+    @classmethod
+    def min_time(cls, budget_usd: float, horizon_hours: float = 48.0) -> "Goal":
+        if budget_usd <= 0:
+            raise ValueError("budget must be positive")
+        return cls(
+            GoalKind.MINIMIZE_TIME, budget_usd=budget_usd, deadline_hours=horizon_hours
+        )
+
+
+@dataclass
+class PlanningProblem:
+    """Everything the model builder needs to emit the LP (Section 4).
+
+    Attributes
+    ----------
+    job, services, network, goal:
+        See the respective classes.
+    state:
+        ``None`` means a fresh job (all input still at the source).
+    interval_hours:
+        LP time-step granularity; 1 h by default to coincide with EC2
+        billing granularity (Section 4.3).
+    spot_price_estimates:
+        Per spot-service estimated prices ``E[b(i,t)]`` per interval
+        (eq. 6); services with ``is_spot`` and no estimate fall back to
+        their on-demand price.
+    upload_fractions:
+        Optional Fig. 8/9 sweep constraint: service name -> fraction of
+        the input that must be uploaded to it.
+    upload_read_lag:
+        Intervals between data arriving at cloud storage and becoming
+        processable.  0 (default) is the paper's eq. (4) semantics —
+        cumulative processing bounded by cumulative uploads, so data
+        streams through within an interval (this matches the measured
+        Conductor runtimes in Fig. 6, which end right after the upload
+        finishes); 1 is a conservative staged variant (ablation).
+    allow_migration:
+        Whether the plan may move stored data between services mid-run
+        (Section 4.5).
+    strict_phase_gap:
+        If True, reduce may only run strictly after the interval in which
+        the map phase completed (ablation; default lets reduce use the
+        tail of that interval).
+    """
+
+    job: PlannerJob
+    services: Sequence[ServiceDescription]
+    network: NetworkConditions
+    goal: Goal
+    state: SystemState | None = None
+    interval_hours: float = 1.0
+    spot_price_estimates: Mapping[str, Sequence[float]] = field(default_factory=dict)
+    upload_fractions: Mapping[str, float] = field(default_factory=dict)
+    upload_read_lag: int = 0
+    allow_migration: bool = True
+    #: Force one node count per compute service across the whole horizon
+    #: (the paper's hybrid plan style: "the right number of EC2 instances
+    #: to allocate was 16").  Costs slightly more than per-interval
+    #: allocation but deploys robustly.
+    constant_nodes: bool = False
+    strict_phase_gap: bool = False
+    local_provider: str = "local"
+
+    def __post_init__(self) -> None:
+        if self.interval_hours <= 0:
+            raise ValueError("interval_hours must be positive")
+        if self.upload_read_lag not in (0, 1):
+            raise ValueError("upload_read_lag must be 0 or 1")
+        if self.goal.deadline_hours is None:
+            raise ValueError("goal must define a planning horizon")
+        total_fraction = sum(self.upload_fractions.values())
+        if total_fraction > 1.0 + 1e-9:
+            raise ValueError("upload fractions exceed 1.0")
+        names = {s.name for s in self.services}
+        for key in self.upload_fractions:
+            if key not in names:
+                raise ValueError(f"upload fraction for unknown service {key!r}")
+        for key in self.spot_price_estimates:
+            if key not in names:
+                raise ValueError(f"spot estimate for unknown service {key!r}")
+
+    @property
+    def horizon_intervals(self) -> int:
+        """Number of LP intervals T covering the deadline/horizon."""
+        assert self.deadline_hours is not None
+        return max(1, math.ceil(self.deadline_hours / self.interval_hours - 1e-9))
+
+    @property
+    def deadline_hours(self) -> float:
+        return float(self.goal.deadline_hours or 0.0)
+
+    @property
+    def effective_state(self) -> SystemState:
+        return self.state if self.state is not None else SystemState.initial(self.job)
+
+    def storage_services(self) -> list[ServiceDescription]:
+        return [s for s in self.services if s.can_store]
+
+    def compute_services(self) -> list[ServiceDescription]:
+        return [s for s in self.services if s.can_compute]

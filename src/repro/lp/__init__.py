@@ -1,0 +1,53 @@
+"""LP/MILP modeling and solving substrate.
+
+The paper models MapReduce deployments as a dynamic linear program and
+solves it with CPLEX (Sections 4 and 4.8).  This package provides the
+equivalent substrate built from scratch:
+
+- :class:`Variable`, :class:`LinExpr`, :class:`Constraint` — the algebra.
+- :class:`Model` — container, semi-continuous lowering, solve dispatch.
+- scipy/HiGHS backend (production path) and a pure-Python two-phase
+  simplex with branch & bound (portable fallback / cross-check).
+
+Quick example::
+
+    from repro.lp import Model
+
+    m = Model()
+    x = m.add_var("x", ub=10)
+    y = m.add_var("y", ub=10)
+    m.add_constr(x + y <= 12)
+    m.maximize(2 * x + 3 * y)
+    solution = m.solve()
+"""
+
+from .expr import Constraint, LinExpr, Sense, Variable, VarType, lin_sum
+from .model import (
+    Model,
+    ObjectiveSense,
+    Solution,
+    SolveStatus,
+    SolverError,
+)
+from .presolve import PresolveResult, PresolveStats, presolve
+from .writers import save, write_lp, write_mps
+
+__all__ = [
+    "Constraint",
+    "LinExpr",
+    "Model",
+    "ObjectiveSense",
+    "PresolveResult",
+    "PresolveStats",
+    "Sense",
+    "Solution",
+    "SolveStatus",
+    "SolverError",
+    "Variable",
+    "VarType",
+    "lin_sum",
+    "presolve",
+    "save",
+    "write_lp",
+    "write_mps",
+]

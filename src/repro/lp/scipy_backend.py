@@ -1,0 +1,129 @@
+"""Solver backend built on ``scipy.optimize.milp`` (HiGHS).
+
+Stands in for the CPLEX 11.2.1 solver used by the paper (Section 4.8).  The
+backend consumes a :class:`repro.lp.model.CompiledModel`, converts it to the
+sparse form HiGHS expects, and maps the result back onto model variables.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import os
+import sys
+import tempfile
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from .model import CompiledModel, Solution, SolveStatus
+
+
+@contextlib.contextmanager
+def _muted_stdout():
+    """Silence HiGHS's C-level printf noise during a solve.
+
+    HiGHS 1.x prints internal notes (e.g. ``HighsMipSolverData::...``)
+    straight to file descriptor 1, bypassing ``sys.stdout``; redirect
+    the fd itself for the duration of the call.  Pytest's capture can
+    replace ``sys.stdout`` with an object without ``fileno``; fall back
+    to no-op muting there (the noise only matters on real terminals).
+    """
+    try:
+        stdout_fd = sys.stdout.fileno()
+    except (AttributeError, OSError, ValueError):
+        yield
+        return
+    sys.stdout.flush()
+    saved_fd = os.dup(stdout_fd)
+    try:
+        with tempfile.TemporaryFile() as sink:
+            os.dup2(sink.fileno(), stdout_fd)
+            try:
+                yield
+            finally:
+                sys.stdout.flush()
+                os.dup2(saved_fd, stdout_fd)
+    finally:
+        os.close(saved_fd)
+
+#: HiGHS status codes (scipy's ``result.status``) mapped to our statuses.
+_STATUS_MAP = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.FEASIBLE,  # iteration/time limit with incumbent
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+def solve(
+    compiled: CompiledModel,
+    time_limit: float | None = None,
+    mip_gap: float = 0.01,
+) -> Solution:
+    """Solve a compiled model and return a :class:`Solution`.
+
+    The returned solution's ``values`` only cover original model variables;
+    auxiliary lowering columns are dropped.
+    """
+    n = compiled.num_vars
+    c = np.zeros(n)
+    for col, coef in compiled.objective.items():
+        c[col] = coef
+
+    constraints = []
+    if compiled.rows:
+        data, row_idx, col_idx = [], [], []
+        for r, row in enumerate(compiled.rows):
+            for col, coef in row.items():
+                row_idx.append(r)
+                col_idx.append(col)
+                data.append(coef)
+        matrix = sparse.csr_matrix(
+            (data, (row_idx, col_idx)), shape=(len(compiled.rows), n)
+        )
+        constraints.append(
+            LinearConstraint(matrix, np.asarray(compiled.row_lb), np.asarray(compiled.row_ub))
+        )
+
+    bounds = Bounds(np.asarray(compiled.var_lb), np.asarray(compiled.var_ub))
+    integrality = np.asarray([1 if flag else 0 for flag in compiled.integrality])
+
+    options: dict[str, float] = {"mip_rel_gap": mip_gap}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+
+    with _muted_stdout():
+        result = milp(
+            c=c,
+            constraints=constraints,
+            bounds=bounds,
+            integrality=integrality,
+            options=options,
+        )
+
+    status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+    if status.has_solution and result.x is None:  # limit hit with no incumbent
+        status = SolveStatus.ERROR
+    solution = Solution(status=status, backend="scipy-highs", message=result.message or "")
+    if status.has_solution:
+        values = np.asarray(result.x)
+        solution.values = {
+            var: _clean(values[col], compiled.integrality[col])
+            for col, var in enumerate(compiled.columns)
+            if var is not None
+        }
+        objective = float(result.fun) + compiled.objective_offset
+        solution.objective = -objective if compiled.negated else objective
+    return solution
+
+
+def _clean(value: float, is_integer: bool) -> float:
+    """Snap solver noise: integral columns to ints, tiny values to zero."""
+    if is_integer:
+        return float(round(value))
+    if abs(value) < 1e-9:
+        return 0.0
+    return float(value)

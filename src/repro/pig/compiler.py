@@ -1,0 +1,237 @@
+"""Logical plan -> MapReduce stage compiler.
+
+Follows the same placement rules as Pig's MRCompiler:
+
+- LOAD opens a map-side segment.
+- FILTER / FOREACH / LIMIT fold into the current segment: map-side if the
+  segment has not shuffled yet, reduce-side if it has.
+- GROUP / ORDER / DISTINCT are *blocking*: they claim the segment's
+  shuffle.  If the segment already shuffled, it is closed (its output
+  materializes) and a new stage starts.
+- JOIN merges two segments into one stage with tagged map branches.
+- UNION concatenates map branches.
+- STORE closes the segment with an output path.
+- A fan-out (one alias consumed by several operators) forces
+  materialization so each consumer reads the same stored bytes —
+  exactly the intermediate results whose loss the paper's Section 2.1
+  fault discussion is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .logical import LogicalPlan
+from .operators import (
+    Distinct,
+    Filter,
+    ForEach,
+    Group,
+    Join,
+    Limit,
+    Load,
+    Operator,
+    Order,
+    PlanError,
+    Store,
+    Union,
+)
+from .pipeline import (
+    CompiledPipeline,
+    LoadRef,
+    StageBranch,
+    StageRef,
+    StageSpec,
+)
+
+
+@dataclass
+class _Segment:
+    """A stage under construction."""
+
+    branches: list[StageBranch]
+    shuffle_alias: str | None = None
+    reduce_aliases: list[str] = field(default_factory=list)
+    last_alias: str = ""
+
+    @property
+    def has_shuffle(self) -> bool:
+        return self.shuffle_alias is not None
+
+
+class PigCompiler:
+    """Compiles one :class:`LogicalPlan` into a :class:`CompiledPipeline`."""
+
+    def __init__(self, plan: LogicalPlan) -> None:
+        plan.validate()
+        self._plan = plan
+        self._stages: list[StageSpec] = []
+        #: alias -> open segment computing it (last_alias == alias)
+        self._open: dict[str, _Segment] = {}
+        #: alias -> stage index whose output materializes it
+        self._materialized: dict[str, int] = {}
+        self._consumer_count = {
+            alias: len(plan.consumers(alias)) for alias in plan.aliases
+        }
+
+    def compile(self) -> CompiledPipeline:
+        for operator in self._plan.operators:
+            self._place(operator)
+        # Close any segment that still holds a STORE-less dangling tail.
+        # validate() guarantees everything reaches a STORE, so the only
+        # open segments left are those closed by _place(Store).
+        leftovers = {id(seg): seg for seg in self._open.values()}
+        if leftovers:
+            dangling = [seg.last_alias for seg in leftovers.values()]
+            raise PlanError(f"unterminated dataflow segments: {dangling}")
+        return CompiledPipeline(self._plan, self._stages)
+
+    # -- operator placement ------------------------------------------------------
+
+    def _place(self, operator: Operator) -> None:
+        if isinstance(operator, Load):
+            segment = _Segment(
+                branches=[StageBranch(LoadRef(operator.alias, operator.path))],
+                last_alias=operator.alias,
+            )
+            self._open[operator.alias] = segment
+        elif isinstance(operator, Store):
+            segment = self._claim(operator.source)
+            self._close(segment, store_path=operator.path)
+            return  # Store has no downstream consumers.
+        elif isinstance(operator, (Group, Order, Distinct)):
+            segment = self._claim(operator.inputs[0])
+            if segment.has_shuffle:
+                segment = self._restage(segment)
+            segment.shuffle_alias = operator.alias
+            segment.last_alias = operator.alias
+            self._open[operator.alias] = segment
+        elif isinstance(operator, Join):
+            self._place_join(operator)
+        elif isinstance(operator, Union):
+            self._place_union(operator)
+        elif isinstance(operator, (Filter, ForEach, Limit)):
+            segment = self._claim(operator.inputs[0])
+            if isinstance(operator, Limit) and len(segment.branches) > 1 and not segment.has_shuffle:
+                # LIMIT does not distribute over a union of map branches.
+                segment = self._restage(segment)
+            if segment.has_shuffle:
+                segment.reduce_aliases.append(operator.alias)
+            else:
+                branch = segment.branches[0]
+                segment.branches[0] = StageBranch(
+                    branch.source, branch.map_aliases + (operator.alias,), branch.side
+                )
+            segment.last_alias = operator.alias
+            self._open[operator.alias] = segment
+        else:  # pragma: no cover - new operator types must be placed here
+            raise PlanError(f"compiler cannot place {type(operator).__name__}")
+
+        # Fan-out forces materialization: both consumers read stored bytes.
+        if self._consumer_count.get(operator.alias, 0) > 1:
+            self._close(self._open[operator.alias])
+
+    def _place_join(self, operator: Join) -> None:
+        if operator.left == operator.right:
+            # Self-join: materialize once, read twice.
+            segment = self._claim(operator.left)
+            index = self._close(segment)
+            left_branches = [StageBranch(StageRef(index), (), "left")]
+            right_branches = [StageBranch(StageRef(index), (), "right")]
+        else:
+            left_branches = self._branches_for_merge(operator.left, "left")
+            right_branches = self._branches_for_merge(operator.right, "right")
+        segment = _Segment(
+            branches=left_branches + right_branches,
+            shuffle_alias=operator.alias,
+            last_alias=operator.alias,
+        )
+        self._open[operator.alias] = segment
+
+    def _place_union(self, operator: Union) -> None:
+        if operator.left == operator.right:
+            segment = self._claim(operator.left)
+            index = self._close(segment)
+            branches = [
+                StageBranch(StageRef(index)),
+                StageBranch(StageRef(index)),
+            ]
+        else:
+            branches = self._branches_for_merge(
+                operator.left, None
+            ) + self._branches_for_merge(operator.right, None)
+        segment = _Segment(branches=branches, last_alias=operator.alias)
+        self._open[operator.alias] = segment
+
+    def _branches_for_merge(
+        self, alias: str, side: str | None
+    ) -> list[StageBranch]:
+        """Map branches contributing ``alias`` to a JOIN/UNION stage."""
+        if alias in self._materialized:
+            return [StageBranch(StageRef(self._materialized[alias]), (), side)]
+        segment = self._claim(alias)
+        if segment.has_shuffle:
+            index = self._close(segment)
+            return [StageBranch(StageRef(index), (), side)]
+        return [
+            StageBranch(b.source, b.map_aliases, side) for b in segment.branches
+        ]
+
+    # -- segment bookkeeping --------------------------------------------------------
+
+    def _claim(self, alias: str) -> _Segment:
+        """The segment an operator reading ``alias`` should extend."""
+        if alias in self._materialized:
+            return _Segment(
+                branches=[StageBranch(StageRef(self._materialized[alias]))],
+                last_alias=alias,
+            )
+        segment = self._open.get(alias)
+        if segment is None:
+            raise PlanError(f"no open segment computes {alias!r}")
+        if segment.last_alias != alias:
+            # Someone extended the segment past this alias without a
+            # fan-out materialization — a compiler invariant violation.
+            raise PlanError(
+                f"alias {alias!r} was folded into a segment now at "
+                f"{segment.last_alias!r}; fan-out should have materialized it"
+            )
+        del self._open[alias]
+        return segment
+
+    def _close(self, segment: _Segment, store_path: str | None = None) -> int:
+        """Seal a segment into a StageSpec; returns the stage index."""
+        index = len(self._stages)
+        self._stages.append(
+            StageSpec(
+                index=index,
+                branches=tuple(segment.branches),
+                shuffle_alias=segment.shuffle_alias,
+                reduce_aliases=tuple(segment.reduce_aliases),
+                output_alias=segment.last_alias,
+                store_path=store_path,
+            )
+        )
+        self._materialized[segment.last_alias] = index
+        self._open.pop(segment.last_alias, None)
+        return index
+
+    def _restage(self, segment: _Segment) -> _Segment:
+        """Materialize ``segment`` and open a fresh one reading its output."""
+        index = self._close(segment)
+        return _Segment(
+            branches=[StageBranch(StageRef(index))],
+            last_alias=self._stages[index].output_alias,
+        )
+
+
+def compile_plan(plan: LogicalPlan) -> CompiledPipeline:
+    """Compile a logical plan into MapReduce stages."""
+    return PigCompiler(plan).compile()
+
+
+def compile_script(source: str) -> CompiledPipeline:
+    """Parse and compile a Pig-Latin script in one step."""
+    from .parser import parse
+
+    return compile_plan(parse(source))

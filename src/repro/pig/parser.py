@@ -1,0 +1,429 @@
+"""Parser for the Pig-Latin dialect.
+
+Grammar (case-insensitive keywords, ``--`` line comments)::
+
+    script     := statement*
+    statement  := alias '=' operation ';'
+                | 'STORE' alias 'INTO' string ';'
+    operation  := 'LOAD' string ['AS' '(' fieldspec (',' fieldspec)* ')']
+                | 'FILTER' alias 'BY' expr
+                | 'FOREACH' alias 'GENERATE' genitem (',' genitem)*
+                | 'GROUP' alias 'BY' expr
+                | 'JOIN' alias 'BY' expr ',' alias 'BY' expr
+                | 'ORDER' alias 'BY' column ['ASC'|'DESC']
+                | 'DISTINCT' alias
+                | 'LIMIT' alias integer
+                | 'UNION' alias ',' alias
+    genitem    := expr ['AS' name] | 'FLATTEN' '(' expr ')' ['AS' name]
+    fieldspec  := name [':' typename]
+    expr       := or-chain of AND/NOT/comparison/arithmetic terms, with
+                  function calls NAME(args), columns, $n, bag.column,
+                  numeric/string/boolean literals and parentheses.
+
+Example::
+
+    pages  = LOAD 'pages' AS (url:chararray, size:int, site:chararray);
+    big    = FILTER pages BY size > 1024;
+    bysite = GROUP big BY site;
+    counts = FOREACH bysite GENERATE group, COUNT(big) AS cnt;
+    top    = ORDER counts BY cnt DESC;
+    STORE top INTO 'results';
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .expressions import (
+    BagProject,
+    BinaryOp,
+    BoolOp,
+    Column,
+    Comparison,
+    Const,
+    Expression,
+    Flatten,
+    FunctionCall,
+    Negate,
+    Not,
+)
+from .logical import LogicalPlan
+from .operators import (
+    Distinct,
+    Filter,
+    ForEach,
+    GenerateItem,
+    Group,
+    Join,
+    Limit,
+    Load,
+    Order,
+    Store,
+    Union,
+)
+from .schema import Field, PigType, Schema, TYPE_NAMES
+
+
+class ParseError(ValueError):
+    """A syntax error, annotated with the line it occurred on."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+KEYWORDS = {
+    "load", "as", "filter", "by", "foreach", "generate", "group", "join",
+    "order", "asc", "desc", "distinct", "limit", "union", "store", "into",
+    "and", "or", "not", "flatten", "true", "false", "null",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+\.\d+([eE][-+]?\d+)?|\d+[eE][-+]?\d+|\d+[Ll]?|\.\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*(::[A-Za-z_][A-Za-z0-9_]*)?)
+  | (?P<positional>\$\d+)
+  | (?P<op>==|!=|<=|>=|<|>|\+|-|\*|/|%|\(|\)|,|;|=|:|\.)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "number" | "string" | "name" | "keyword" | "positional" | "op" | "eof"
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split a script into tokens; raises ParseError on stray characters."""
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(f"unexpected character {source[position]!r}", line)
+        line += source[position:match.end()].count("\n")
+        position = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "name" and text.lower() in KEYWORDS:
+            tokens.append(Token("keyword", text.lower(), line))
+        else:
+            tokens.append(Token(kind or "op", text, line))
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.current
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            want = text if text is not None else kind
+            raise ParseError(
+                f"expected {want!r}, found {self.current.text or 'end of input'!r}",
+                self.current.line,
+            )
+        return token
+
+    def at_keyword(self, word: str) -> bool:
+        return self.current.kind == "keyword" and self.current.text == word
+
+
+def parse(source: str) -> LogicalPlan:
+    """Parse a script into a validated-on-construction LogicalPlan."""
+    return _Parser(_TokenStream(tokenize(source))).parse_script()
+
+
+def parse_expression(source: str) -> Expression:
+    """Parse a standalone expression (used by tests and hint tooling)."""
+    stream = _TokenStream(tokenize(source))
+    parser = _Parser(stream)
+    expression = parser._expr()
+    stream.expect("eof")
+    return expression
+
+
+class _Parser:
+    def __init__(self, stream: _TokenStream) -> None:
+        self._ts = stream
+        self._store_count = 0
+
+    def parse_script(self) -> LogicalPlan:
+        plan = LogicalPlan()
+        while self._ts.current.kind != "eof":
+            self._statement(plan)
+        return plan
+
+    # -- statements -----------------------------------------------------------
+
+    def _statement(self, plan: LogicalPlan) -> None:
+        if self._ts.at_keyword("store"):
+            self._ts.advance()
+            source = self._alias()
+            self._ts.expect("keyword", "into")
+            path = self._string()
+            self._ts.expect("op", ";")
+            self._store_count += 1
+            plan.add(Store(f"__store{self._store_count}", source, path))
+            return
+        alias = self._alias()
+        self._ts.expect("op", "=")
+        operator = self._operation(alias)
+        self._ts.expect("op", ";")
+        plan.add(operator)
+
+    def _operation(self, alias: str):
+        token = self._ts.current
+        if token.kind != "keyword":
+            raise ParseError(
+                f"expected an operation keyword, found {token.text!r}", token.line
+            )
+        word = token.text
+        self._ts.advance()
+        if word == "load":
+            return self._load(alias)
+        if word == "filter":
+            source = self._alias()
+            self._ts.expect("keyword", "by")
+            return Filter(alias, source, self._expr())
+        if word == "foreach":
+            source = self._alias()
+            self._ts.expect("keyword", "generate")
+            return ForEach(alias, source, tuple(self._generate_items()))
+        if word == "group":
+            source = self._alias()
+            self._ts.expect("keyword", "by")
+            return Group(alias, source, self._expr())
+        if word == "join":
+            left = self._alias()
+            self._ts.expect("keyword", "by")
+            left_key = self._expr()
+            self._ts.expect("op", ",")
+            right = self._alias()
+            self._ts.expect("keyword", "by")
+            right_key = self._expr()
+            return Join(alias, left, left_key, right, right_key)
+        if word == "order":
+            source = self._alias()
+            self._ts.expect("keyword", "by")
+            column = self._column_name()
+            descending = False
+            if self._ts.accept("keyword", "desc"):
+                descending = True
+            else:
+                self._ts.accept("keyword", "asc")
+            return Order(alias, source, column, descending)
+        if word == "distinct":
+            return Distinct(alias, self._alias())
+        if word == "limit":
+            source = self._alias()
+            count_token = self._ts.expect("number")
+            return Limit(alias, source, int(count_token.text.rstrip("Ll")))
+        if word == "union":
+            left = self._alias()
+            self._ts.expect("op", ",")
+            return Union(alias, left, self._alias())
+        raise ParseError(f"unknown operation {word.upper()!r}", token.line)
+
+    def _load(self, alias: str) -> Load:
+        path = self._string()
+        if self._ts.accept("keyword", "as"):
+            self._ts.expect("op", "(")
+            fields = [self._field_spec()]
+            while self._ts.accept("op", ","):
+                fields.append(self._field_spec())
+            self._ts.expect("op", ")")
+            schema = Schema(tuple(fields))
+        else:
+            schema = Schema((Field("value", PigType.BYTEARRAY),))
+        return Load(alias, path, schema)
+
+    def _field_spec(self) -> Field:
+        name = self._ts.expect("name").text
+        if self._ts.accept("op", ":"):
+            type_token = self._ts.expect("name")
+            pig_type = TYPE_NAMES.get(type_token.text.lower())
+            if pig_type is None:
+                raise ParseError(
+                    f"unknown type {type_token.text!r} "
+                    f"(expected one of {sorted(TYPE_NAMES)})",
+                    type_token.line,
+                )
+            return Field(name, pig_type)
+        return Field(name, PigType.BYTEARRAY)
+
+    def _generate_items(self) -> list[GenerateItem]:
+        items = [self._generate_item()]
+        while self._ts.accept("op", ","):
+            items.append(self._generate_item())
+        return items
+
+    def _generate_item(self) -> GenerateItem:
+        if self._ts.accept("keyword", "flatten"):
+            self._ts.expect("op", "(")
+            inner = self._expr()
+            self._ts.expect("op", ")")
+            expression: Expression = Flatten(inner)
+        else:
+            expression = self._expr()
+        name = None
+        if self._ts.accept("keyword", "as"):
+            name = self._ts.expect("name").text
+        return GenerateItem(expression, name)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expr(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        left = self._and_expr()
+        while self._ts.accept("keyword", "or"):
+            left = BoolOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expression:
+        left = self._not_expr()
+        while self._ts.accept("keyword", "and"):
+            left = BoolOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expression:
+        if self._ts.accept("keyword", "not"):
+            return Not(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        left = self._additive()
+        token = self._ts.current
+        if token.kind == "op" and token.text in ("==", "!=", "<", "<=", ">", ">="):
+            self._ts.advance()
+            return Comparison(token.text, left, self._additive())
+        return left
+
+    def _additive(self) -> Expression:
+        left = self._multiplicative()
+        while True:
+            token = self._ts.current
+            if token.kind == "op" and token.text in ("+", "-"):
+                self._ts.advance()
+                left = BinaryOp(token.text, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expression:
+        left = self._unary()
+        while True:
+            token = self._ts.current
+            if token.kind == "op" and token.text in ("*", "/", "%"):
+                self._ts.advance()
+                left = BinaryOp(token.text, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expression:
+        if self._ts.accept("op", "-"):
+            return Negate(self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        token = self._ts.current
+        if token.kind == "number":
+            self._ts.advance()
+            text = token.text.rstrip("Ll")
+            if "." in text or "e" in text.lower():
+                return Const(float(text))
+            return Const(int(text))
+        if token.kind == "string":
+            self._ts.advance()
+            return Const(self._unquote(token.text))
+        if token.kind == "positional":
+            self._ts.advance()
+            return Column(token.text)
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            self._ts.advance()
+            return Const(token.text == "true")
+        if token.kind == "keyword" and token.text == "null":
+            self._ts.advance()
+            return Const(None)
+        if token.kind == "keyword" and token.text == "group":
+            # 'group' is a keyword but also the key column of GROUP output.
+            self._ts.advance()
+            return Column("group")
+        if token.kind == "name":
+            self._ts.advance()
+            if self._ts.accept("op", "("):
+                return self._call(token)
+            if self._ts.accept("op", "."):
+                column = self._ts.expect("name").text
+                return BagProject(token.text, column)
+            return Column(token.text)
+        if self._ts.accept("op", "("):
+            inner = self._expr()
+            self._ts.expect("op", ")")
+            return inner
+        raise ParseError(f"unexpected token {token.text!r} in expression", token.line)
+
+    def _call(self, name_token: Token) -> Expression:
+        args: list[Expression] = []
+        if not self._ts.accept("op", ")"):
+            args.append(self._expr())
+            while self._ts.accept("op", ","):
+                args.append(self._expr())
+            self._ts.expect("op", ")")
+        try:
+            return FunctionCall(name_token.text, tuple(args))
+        except ValueError as exc:
+            raise ParseError(str(exc), name_token.line) from None
+
+    # -- terminals ----------------------------------------------------------------
+
+    def _alias(self) -> str:
+        return self._ts.expect("name").text
+
+    def _column_name(self) -> str:
+        token = self._ts.current
+        if token.kind == "positional":
+            self._ts.advance()
+            return token.text
+        if token.kind == "keyword" and token.text == "group":
+            self._ts.advance()
+            return "group"
+        return self._ts.expect("name").text
+
+    def _string(self) -> str:
+        return self._unquote(self._ts.expect("string").text)
+
+    @staticmethod
+    def _unquote(text: str) -> str:
+        body = text[1:-1]
+        return body.replace("\\'", "'").replace("\\\\", "\\")

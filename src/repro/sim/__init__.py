@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel.
+
+Provides the shared virtual clock (:class:`Simulation`), the event queue,
+a max-min fair fluid network model (:class:`FluidNetwork` over a
+:class:`Topology` of :class:`Link` objects), and seeded RNG derivation.
+The MapReduce engine, the storage layer and the job controller all run on
+this kernel.
+"""
+
+from .clock import Simulation, SimulationError
+from .events import Event, EventQueue
+from .network import (
+    Flow,
+    FluidNetwork,
+    Link,
+    RoutingError,
+    Topology,
+    max_min_fair_rates,
+)
+from .rng import derive_seed, generator
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Flow",
+    "FluidNetwork",
+    "Link",
+    "RoutingError",
+    "Simulation",
+    "SimulationError",
+    "Topology",
+    "derive_seed",
+    "generator",
+    "max_min_fair_rates",
+]

@@ -1,0 +1,37 @@
+"""Conductor's storage abstraction layer (paper Section 5.1).
+
+A distributed key-value store with a namenode directory, pluggable
+backends (node-local disk daemons, an S3-like object store), a client
+with closest-replica reads and local-write-then-replicate semantics, a
+chunked filesystem driver for Hadoop-style access, and a replication /
+migration manager that enacts the execution plan.
+"""
+
+from .backends import LocalDiskBackend, ObjectStoreBackend, StorageBackend, StorageError
+from .blocks import Block, BlockId, LocationRecord
+from .client import StorageClient, TransferStats
+from .failures import FailureEvent, FailureInjector, unavailable_files
+from .filesystem import DEFAULT_CHUNK_MB, ConductorFileSystem, FileSystemError, Inode
+from .namenode import Namenode
+from .replication import ReplicationManager
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "ConductorFileSystem",
+    "DEFAULT_CHUNK_MB",
+    "FailureEvent",
+    "FailureInjector",
+    "FileSystemError",
+    "Inode",
+    "LocalDiskBackend",
+    "LocationRecord",
+    "Namenode",
+    "ObjectStoreBackend",
+    "ReplicationManager",
+    "StorageBackend",
+    "StorageClient",
+    "StorageError",
+    "TransferStats",
+    "unavailable_files",
+]

@@ -1,0 +1,172 @@
+"""The storage client: uniform read/write over heterogeneous backends.
+
+"This storage can be accessed by a client that hides from the user how
+and where data is stored on the backends" (paper Section 5.1).  Reads
+consult the namenode, pick the closest replica (by ping distance) and
+fetch it with backend-specific logic; co-located data takes the fast
+path past the namenode.  Writes go to local storage first, with
+replication handed off to the background (the paper's optimized write).
+
+All data movement is simulated: operations schedule flows on the shared
+:class:`~repro.sim.network.FluidNetwork` plus the backend's per-chunk
+protocol overhead, and complete via callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..sim import FluidNetwork, Simulation
+from .backends import StorageBackend, StorageError
+from .blocks import Block, BlockId, LocationRecord
+from .namenode import Namenode
+
+
+@dataclass
+class TransferStats:
+    """Aggregate I/O counters (feed the accounting layer and Fig. 15)."""
+
+    reads: int = 0
+    writes: int = 0
+    read_mb: float = 0.0
+    written_mb: float = 0.0
+    local_fast_path_hits: int = 0
+
+
+class StorageClient:
+    """Read/write blocks through the resource abstraction layer."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        network: FluidNetwork,
+        namenode: Namenode,
+        backends: dict[str, StorageBackend],
+        ping: Callable[[str, str], float] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.namenode = namenode
+        self.backends = dict(backends)
+        self._ping = ping or self._default_ping
+        self.stats = TransferStats()
+
+    # -- reads -------------------------------------------------------------
+
+    def read(
+        self,
+        block_id: BlockId,
+        at_site: str,
+        on_complete: Callable[[Block], None],
+    ) -> None:
+        """Fetch a block to ``at_site``; ``on_complete(block)`` fires when
+        the last byte arrives.
+
+        Co-located replicas short-circuit the namenode: the local daemon
+        is tried directly and only a miss falls back to the normal path
+        (with the fetched copy then cached locally), per Section 5.1.
+        """
+        block = self.namenode.block(block_id)
+        local = self._local_record(block_id, at_site)
+        if local is not None:
+            self.stats.local_fast_path_hits += 1
+            self.stats.reads += 1
+            self.stats.read_mb += block.size_mb
+            # Local disk read: modeled through the node's disk link when
+            # the topology defines a self-route, otherwise instantaneous.
+            self.sim.schedule(0.0, on_complete, block)
+            return
+
+        records = self.namenode.locations(block_id)
+        if not records:
+            raise StorageError(f"no replica of {block_id} available")
+        best = min(records, key=lambda r: self._ping(at_site, r.site))
+        backend = self.backends[best.backend]
+
+        def deliver(_flow) -> None:
+            self.stats.reads += 1
+            self.stats.read_mb += block.size_mb
+            # Install a cached copy locally so future reads are local
+            # (the paper's fallback path caches on miss).
+            self._cache_locally(block, at_site)
+            on_complete(block)
+
+        self.sim.schedule(
+            backend.per_chunk_overhead_s,
+            lambda: self.network.start_flow(best.site, at_site, block.size_mb, deliver),
+        )
+
+    # -- writes -------------------------------------------------------------
+
+    def write(
+        self,
+        block: Block,
+        at_site: str,
+        target: LocationRecord,
+        on_complete: Callable[[Block], None] | None = None,
+    ) -> None:
+        """Write one replica of ``block`` from ``at_site`` to ``target``."""
+        if not self.namenode.exists(block.block_id):
+            self.namenode.register(block)
+        backend = self.backends[target.backend]
+
+        def deliver(_flow=None) -> None:
+            backend.put(target.node, block)
+            self.namenode.add_location(block.block_id, target)
+            self.stats.writes += 1
+            self.stats.written_mb += block.size_mb
+            if on_complete is not None:
+                on_complete(block)
+
+        self.sim.schedule(
+            backend.per_chunk_overhead_s,
+            lambda: self.network.start_flow(at_site, target.site, block.size_mb, deliver),
+        )
+
+    def write_local_then_replicate(
+        self,
+        block: Block,
+        at_site: str,
+        local_target: LocationRecord,
+        replica_targets: list[LocationRecord],
+        on_local_complete: Callable[[Block], None] | None = None,
+    ) -> None:
+        """The paper's optimized write: commit locally, replicate behind.
+
+        ``on_local_complete`` fires as soon as the local replica is
+        durable (the writer may proceed); background replication flows
+        continue independently and register their locations as they land.
+        """
+
+        def local_done(written: Block) -> None:
+            if on_local_complete is not None:
+                on_local_complete(written)
+            for target in replica_targets:
+                self.write(written, local_target.site, target)
+
+        self.write(block, at_site, local_target, local_done)
+
+    # -- internals ----------------------------------------------------------
+
+    def _local_record(self, block_id: BlockId, site: str) -> LocationRecord | None:
+        for record in self.namenode.locations(block_id):
+            if record.site == site and self.backends[record.backend].contains(
+                record.node, block_id
+            ):
+                return record
+        return None
+
+    def _cache_locally(self, block: Block, site: str) -> None:
+        for name, backend in self.backends.items():
+            if hasattr(backend, "nodes") and site in getattr(backend, "nodes"):
+                backend.put(site, block)
+                self.namenode.add_location(
+                    block.block_id, LocationRecord(backend=name, node=site)
+                )
+                return
+
+    @staticmethod
+    def _default_ping(a: str, b: str) -> float:
+        """Trivial distance: co-located 0, everything else 1."""
+        return 0.0 if a == b else 1.0

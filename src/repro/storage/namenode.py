@@ -1,0 +1,122 @@
+"""The namenode: directory service of Conductor's storage system.
+
+"The central component in Conductor's storage system is the namenode,
+which provides a directory service for data, and manages upload,
+replication and migration of the data as per the execution plan"
+(paper Section 5.1).  It maps block ids to location records and keeps the
+replication bookkeeping the replication manager acts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .backends import StorageBackend, StorageError
+from .blocks import Block, BlockId, LocationRecord
+
+
+class Namenode:
+    """Block directory plus placement bookkeeping."""
+
+    def __init__(self) -> None:
+        self._blocks: dict[BlockId, Block] = {}
+        self._locations: dict[BlockId, list[LocationRecord]] = {}
+        #: Plan-driven priority hints from the filesystem driver ("which
+        #: data block should be uploaded or replicated with higher
+        #: priority", Section 5.3).  Higher = sooner.
+        self._priorities: dict[BlockId, int] = {}
+
+    # -- directory ------------------------------------------------------------
+
+    def register(self, block: Block) -> None:
+        """Make a block known (it has no replicas yet)."""
+        if block.block_id in self._blocks:
+            raise ValueError(f"block {block.block_id} already registered")
+        self._blocks[block.block_id] = block
+        self._locations[block.block_id] = []
+
+    def block(self, block_id: BlockId) -> Block:
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise StorageError(f"unknown block {block_id}") from None
+
+    def blocks(self) -> list[BlockId]:
+        return list(self._blocks)
+
+    def exists(self, block_id: BlockId) -> bool:
+        return block_id in self._blocks
+
+    # -- locations ------------------------------------------------------------
+
+    def add_location(self, block_id: BlockId, record: LocationRecord) -> None:
+        locations = self._locations_of(block_id)
+        if record not in locations:
+            locations.append(record)
+
+    def remove_location(self, block_id: BlockId, record: LocationRecord) -> None:
+        locations = self._locations_of(block_id)
+        if record in locations:
+            locations.remove(record)
+
+    def locations(self, block_id: BlockId) -> list[LocationRecord]:
+        """All replicas' location records (possibly empty — data lost)."""
+        return list(self._locations_of(block_id))
+
+    def blocks_at(self, backend: str, node: str = "") -> list[BlockId]:
+        """Blocks with a replica on a given backend (and node, if given)."""
+        found = []
+        for block_id, records in self._locations.items():
+            for record in records:
+                if record.backend == backend and (not node or record.node == node):
+                    found.append(block_id)
+                    break
+        return found
+
+    def drop_node(self, backend: str, node: str) -> list[BlockId]:
+        """Remove every location on a failed/terminated node; returns the
+        blocks that lost a replica (possibly now unavailable)."""
+        affected = []
+        for block_id, records in self._locations.items():
+            keep = [r for r in records if not (r.backend == backend and r.node == node)]
+            if len(keep) != len(records):
+                self._locations[block_id] = keep
+                affected.append(block_id)
+        return affected
+
+    # -- replication bookkeeping -----------------------------------------------
+
+    def replication_of(self, block_id: BlockId) -> int:
+        return len(self._locations_of(block_id))
+
+    def under_replicated(self, factor: int) -> list[BlockId]:
+        """Blocks with fewer than ``factor`` replicas but at least one."""
+        return [
+            block_id
+            for block_id, records in self._locations.items()
+            if 0 < len(records) < factor
+        ]
+
+    def unavailable(self) -> list[BlockId]:
+        """Registered blocks with zero replicas — data loss (Section 2.1:
+        lost intermediate results must be recomputed)."""
+        return [b for b, records in self._locations.items() if not records]
+
+    # -- priorities ------------------------------------------------------------
+
+    def set_priority(self, block_id: BlockId, priority: int) -> None:
+        self._priorities[block_id] = priority
+
+    def priority_of(self, block_id: BlockId) -> int:
+        return self._priorities.get(block_id, 0)
+
+    def by_priority(self, block_ids: list[BlockId]) -> list[BlockId]:
+        """Sort candidate blocks by descending priority (stable)."""
+        return sorted(block_ids, key=lambda b: -self._priorities.get(b, 0))
+
+    # -- internals ------------------------------------------------------------
+
+    def _locations_of(self, block_id: BlockId) -> list[LocationRecord]:
+        if block_id not in self._locations:
+            raise StorageError(f"unknown block {block_id}")
+        return self._locations[block_id]

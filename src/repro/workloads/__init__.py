@@ -1,0 +1,35 @@
+"""Synthetic workloads and calibration benchmarks.
+
+The paper's k-means evaluation workload plus wordcount/sort variants and
+the Fig. 1 instance micro-benchmark.
+"""
+
+from .instance_bench import InstanceMeasurement, run_instance_benchmark
+from .kmeans import (
+    BYTES_PER_POINT,
+    CALIBRATION_GB_PER_HOUR,
+    CALIBRATION_REFERENCES,
+    FAST_REFERENCES,
+    KMeansDataset,
+    assign_points,
+    generate_points,
+    generate_references,
+    recompute_centroids,
+)
+from .textjobs import SortWorkload, WordCountWorkload
+
+__all__ = [
+    "BYTES_PER_POINT",
+    "CALIBRATION_GB_PER_HOUR",
+    "CALIBRATION_REFERENCES",
+    "FAST_REFERENCES",
+    "InstanceMeasurement",
+    "KMeansDataset",
+    "SortWorkload",
+    "WordCountWorkload",
+    "assign_points",
+    "generate_points",
+    "generate_references",
+    "recompute_centroids",
+    "run_instance_benchmark",
+]

@@ -1,0 +1,65 @@
+"""Instance-type micro-benchmark (paper Figure 1).
+
+The paper measured k-means throughput on three EC2 instance types and
+compared it to the performance *projected* from Amazon's ECU ratings,
+finding "a consistently increasing throughput divergence".  This module
+reproduces that comparison: projected throughput is linear in ECU
+(anchored at the smallest type); measured throughput comes from the
+calibrated service descriptions, which encode the sub-linear scaling the
+paper observed (memory bandwidth and I/O do not scale with ECU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cloud.catalog import instance_types
+from ..cloud.services import ServiceDescription
+
+
+@dataclass(frozen=True)
+class InstanceMeasurement:
+    """One Fig. 1 data point."""
+
+    instance: str
+    ecu: float
+    measured_gb_per_hour: float
+    projected_gb_per_hour: float
+
+    @property
+    def divergence(self) -> float:
+        """Projected minus measured (GB/h); grows with ECU in Fig. 1."""
+        return self.projected_gb_per_hour - self.measured_gb_per_hour
+
+    @property
+    def efficiency(self) -> float:
+        """Measured as a fraction of projected."""
+        if self.projected_gb_per_hour == 0:
+            return 1.0
+        return self.measured_gb_per_hour / self.projected_gb_per_hour
+
+
+def run_instance_benchmark(
+    services: list[ServiceDescription] | None = None,
+) -> list[InstanceMeasurement]:
+    """Measure every instance type and project from the ECU rating.
+
+    The projection is anchored at the lowest-ECU type, exactly as one
+    would extrapolate from a single calibration run: GB/h-per-ECU of the
+    anchor times each type's ECU.
+    """
+    services = services if services is not None else instance_types()
+    rated = [s for s in services if s.can_compute and s.ecu_per_node > 0]
+    if not rated:
+        raise ValueError("no instance types with ECU ratings to benchmark")
+    anchor = min(rated, key=lambda s: s.ecu_per_node)
+    per_ecu = anchor.throughput_gb_per_hour / anchor.ecu_per_node
+    return [
+        InstanceMeasurement(
+            instance=service.name,
+            ecu=service.ecu_per_node,
+            measured_gb_per_hour=service.throughput_gb_per_hour,
+            projected_gb_per_hour=per_ecu * service.ecu_per_node,
+        )
+        for service in sorted(rated, key=lambda s: s.ecu_per_node)
+    ]

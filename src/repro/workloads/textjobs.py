@@ -1,0 +1,102 @@
+"""Additional MapReduce workloads: wordcount and distributed sort.
+
+The paper's approach "can be applied to other applications and resources
+as well when their characteristics are specified" (Section 6.1).  These
+two classics exercise job shapes k-means does not:
+
+- **wordcount**: high map selectivity (counts are much smaller than
+  text), fast per-byte processing — upload-bound plans;
+- **sort**: map output ≈ input (no reduction), heavyweight shuffle and a
+  result as large as the input — download-bound plans where transfer-out
+  pricing matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.problem import PlannerJob
+from ..mapreduce.job import MapReduceJob
+from ..sim.rng import generator
+from ..units import MB_PER_GB
+
+
+@dataclass(frozen=True)
+class WordCountWorkload:
+    """Count word frequencies over synthetic text."""
+
+    input_gb: float = 32.0
+    #: Distinct vocabulary — determines output size.
+    vocabulary: int = 200_000
+    #: Text scanning is ~8x faster per byte than k-means distance math.
+    speed_multiplier: float = 8.0
+
+    def planner_job(self, name: str = "wordcount") -> PlannerJob:
+        return PlannerJob(
+            name=name,
+            input_gb=self.input_gb,
+            map_output_ratio=self.output_ratio(),
+            reduce_output_ratio=1.0,
+            throughput_scale=self.speed_multiplier,
+        )
+
+    def engine_job(self, name: str = "wordcount", split_mb: float = 64.0) -> MapReduceJob:
+        return MapReduceJob(
+            name=name,
+            input_path=f"/{name}/text",
+            input_mb=self.input_gb * MB_PER_GB,
+            split_mb=split_mb,
+            map_output_ratio=self.output_ratio(),
+            reduce_output_ratio=1.0,
+            num_reducers=8,
+        )
+
+    def output_ratio(self) -> float:
+        """(word, count) pairs per vocabulary entry, ~24 B each."""
+        output_bytes = self.vocabulary * 24
+        ratio = output_bytes / (self.input_gb * MB_PER_GB * 1024 * 1024)
+        return max(min(ratio * 64, 0.05), 1e-4)  # per-task partials pre-combine
+
+    def sample_text(self, words: int = 10_000, seed: int = 0) -> list[str]:
+        """Zipf-distributed synthetic tokens (tests/examples)."""
+        rng = generator(seed, "wordcount-text")
+        ranks = rng.zipf(1.3, size=words)
+        ranks = np.clip(ranks, 1, self.vocabulary)
+        return [f"w{rank}" for rank in ranks]
+
+
+@dataclass(frozen=True)
+class SortWorkload:
+    """TeraSort-style global sort: output as large as the input."""
+
+    input_gb: float = 32.0
+    #: Sorting is mostly I/O: much faster per byte than k-means.
+    speed_multiplier: float = 6.0
+
+    def planner_job(self, name: str = "sort") -> PlannerJob:
+        return PlannerJob(
+            name=name,
+            input_gb=self.input_gb,
+            map_output_ratio=1.0,       # partitioned, not reduced
+            reduce_output_ratio=1.0,    # merged runs, same volume
+            throughput_scale=self.speed_multiplier,
+            reduce_speed_factor=1.0,    # merge is as heavy as partition
+        )
+
+    def engine_job(self, name: str = "sort", split_mb: float = 64.0) -> MapReduceJob:
+        return MapReduceJob(
+            name=name,
+            input_path=f"/{name}/records",
+            input_mb=self.input_gb * MB_PER_GB,
+            split_mb=split_mb,
+            map_output_ratio=1.0,
+            reduce_output_ratio=1.0,
+            num_reducers=16,
+            reduce_speed_factor=1.0,
+        )
+
+    def sample_records(self, count: int = 10_000, seed: int = 0) -> np.ndarray:
+        rng = generator(seed, "sort-records")
+        return rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)

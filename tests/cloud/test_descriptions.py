@@ -1,0 +1,107 @@
+"""Tests for the XML service-description format (paper Fig. 3)."""
+
+import pytest
+
+from repro.cloud import (
+    DescriptionError,
+    hybrid_cloud,
+    parse_services,
+    public_cloud,
+    save_services,
+    load_services,
+    to_xml,
+)
+
+#: The paper's own Fig. 3 example, verbatim structure.
+PAPER_S3_XML = """
+<resources>
+  <resource>
+    <property name="name"><string>S3</string></property>
+    <property name="cost_get"><double>1.0E-6</double></property>
+    <property name="cost_put"><double>1.0E-5</double></property>
+    <property name="cost_tstore"><double>2.08333332E-4</double></property>
+    <property name="can_compute"><boolean>false</boolean></property>
+    <property name="can_store"><boolean>true</boolean></property>
+    <property name="storage_capacity"><int>-1</int></property>
+  </resource>
+</resources>
+"""
+
+
+class TestParsing:
+    def test_paper_example_parses(self):
+        services = parse_services(PAPER_S3_XML)
+        assert len(services) == 1
+        s3 = services[0]
+        assert s3.name == "S3"
+        assert s3.cost_get == pytest.approx(1.0e-6)
+        assert s3.cost_put == pytest.approx(1.0e-5)
+        assert s3.cost_tstore_gb_hour == pytest.approx(2.08333332e-4)
+        assert not s3.can_compute
+        assert s3.storage_capacity_gb == -1
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(DescriptionError):
+            parse_services("<resources><resource>")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(DescriptionError):
+            parse_services("<services/>")
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(DescriptionError):
+            parse_services("<resources/>")
+
+    def test_unknown_property_rejected(self):
+        bad = PAPER_S3_XML.replace("cost_get", "cost_mystery")
+        with pytest.raises(DescriptionError):
+            parse_services(bad)
+
+    def test_missing_name_rejected(self):
+        bad = PAPER_S3_XML.replace(
+            '<property name="name"><string>S3</string></property>', ""
+        )
+        with pytest.raises(DescriptionError):
+            parse_services(bad)
+
+    def test_wrong_type_tag_rejected(self):
+        bad = PAPER_S3_XML.replace(
+            "<double>1.0E-6</double>", "<string>1.0E-6</string>"
+        )
+        with pytest.raises(DescriptionError):
+            parse_services(bad)
+
+    def test_bad_boolean_rejected(self):
+        bad = PAPER_S3_XML.replace(
+            "<boolean>false</boolean>", "<boolean>maybe</boolean>"
+        )
+        with pytest.raises(DescriptionError):
+            parse_services(bad)
+
+    def test_invalid_semantics_rejected(self):
+        # A resource that provides nothing fails ServiceDescription checks.
+        bad = """
+        <resources><resource>
+          <property name="name"><string>void</string></property>
+        </resource></resources>
+        """
+        with pytest.raises(DescriptionError):
+            parse_services(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("catalog", [public_cloud(), hybrid_cloud()])
+    def test_catalogs_round_trip(self, catalog):
+        parsed = parse_services(to_xml(catalog))
+        assert parsed == list(catalog)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "services.xml"
+        save_services(public_cloud(), str(path))
+        loaded = load_services(str(path))
+        assert loaded == public_cloud()
+
+    def test_defaults_omitted_from_xml(self):
+        xml = to_xml(public_cloud())
+        # transfer_in defaults to 0 everywhere and should not be emitted.
+        assert "cost_transfer_in" not in xml

@@ -1,0 +1,186 @@
+"""Tests for recurring-job calibration (paper Section 4.1)."""
+
+import pytest
+
+from repro.cloud import public_cloud
+from repro.core import (
+    ActualConditions,
+    CalibrationReport,
+    Goal,
+    JobController,
+    NetworkConditions,
+    PlannerJob,
+    RateObservation,
+    calibrate,
+    run_recurring,
+)
+
+NETWORK = NetworkConditions.from_mbit_s(16.0)
+
+#: The Fig. 12 misprediction: believed 1.44 GB/h, actually 0.44 GB/h.
+BELIEVED_RATE = 1.44
+ACTUAL_RATE = 0.44
+
+
+def mispredicted_services():
+    services = public_cloud()
+    return [
+        s.replace(throughput_gb_per_hour=BELIEVED_RATE)
+        if s.name == "ec2.m1.large"
+        else s
+        for s in services
+    ]
+
+
+def slow_world():
+    return ActualConditions(
+        throughput_gb_per_hour={"ec2.m1.large": ACTUAL_RATE}
+    )
+
+
+@pytest.fixture(scope="module")
+def first_run():
+    job = PlannerJob(name="kmeans", input_gb=8.0)
+    controller = JobController(
+        job,
+        mispredicted_services(),
+        Goal.min_cost(deadline_hours=8.0),
+        network=NETWORK,
+    )
+    result = controller.run(slow_world())
+    return job, result
+
+
+class TestCalibrate:
+    def test_observed_rate_matches_world(self, first_run):
+        job, result = first_run
+        report = calibrate(job, result, NETWORK)
+        observation = report.rate_for("ec2.m1.large")
+        assert observation is not None
+        assert observation.mean_rate == pytest.approx(ACTUAL_RATE, rel=0.10)
+        assert observation.node_hours > 0
+
+    def test_unobserved_service_absent(self, first_run):
+        job, result = first_run
+        report = calibrate(job, result, NETWORK)
+        assert report.rate_for("s3") is None
+
+    def test_healthy_uplink_yields_no_estimate(self, first_run):
+        # Every upload interval delivered its planned volume, so nothing
+        # was learned about the WAN ceiling — and nothing must be
+        # "calibrated" down to whatever the plan happened to schedule.
+        job, result = first_run
+        report = calibrate(job, result, NETWORK)
+        assert report.observed_uplink_gb_h is None
+
+    def test_congested_uplink_is_learned(self):
+        job = PlannerJob(name="kmeans", input_gb=8.0)
+        controller = JobController(
+            job,
+            public_cloud(),
+            Goal.min_cost(deadline_hours=10.0),
+            network=NETWORK,
+        )
+        result = controller.run(ActualConditions(uplink_factor=0.5))
+        report = calibrate(job, result, NETWORK)
+        assert report.observed_uplink_gb_h is not None
+        assert report.observed_uplink_gb_h == pytest.approx(
+            NETWORK.uplink_gb_per_hour * 0.5, rel=0.15
+        )
+
+    def test_apply_corrects_compute_rate(self, first_run):
+        job, result = first_run
+        report = calibrate(job, result, NETWORK)
+        services, network = report.apply(mispredicted_services(), NETWORK)
+        rate = next(
+            s.throughput_gb_per_hour for s in services if s.name == "ec2.m1.large"
+        )
+        assert rate == pytest.approx(ACTUAL_RATE, rel=0.10)
+        # Storage-only services untouched.
+        s3 = next(s for s in services if s.name == "s3")
+        assert not s3.can_compute
+
+    def test_apply_never_inflates_uplink(self):
+        report = CalibrationReport(
+            job_name="j",
+            throughput_scale=1.0,
+            rates=(),
+            observed_uplink_gb_h=NETWORK.uplink_gb_per_hour * 10,
+        )
+        _services, network = report.apply(public_cloud(), NETWORK)
+        assert network.uplink_gb_per_hour == pytest.approx(
+            NETWORK.uplink_gb_per_hour
+        )
+
+    def test_apply_shrinks_congested_uplink(self):
+        report = CalibrationReport(
+            job_name="j",
+            throughput_scale=1.0,
+            rates=(),
+            observed_uplink_gb_h=NETWORK.uplink_gb_per_hour * 0.5,
+        )
+        _services, network = report.apply(public_cloud(), NETWORK)
+        assert network.uplink_gb_per_hour == pytest.approx(
+            NETWORK.uplink_gb_per_hour * 0.5
+        )
+
+    def test_throughput_scale_unwound(self, first_run):
+        job8 = PlannerJob(name="scaled", input_gb=8.0, throughput_scale=2.0)
+        _job, result = first_run
+        report = calibrate(job8, result, NETWORK)
+        observation = report.rate_for("ec2.m1.large")
+        services, _network = report.apply(mispredicted_services(), NETWORK)
+        rate = next(
+            s.throughput_gb_per_hour for s in services if s.name == "ec2.m1.large"
+        )
+        # apply() divides the scale back out of the scaled observation.
+        assert rate == pytest.approx(observation.mean_rate / 2.0)
+
+
+class TestRecurring:
+    def test_second_run_plans_correctly_from_the_start(self):
+        # Paper Section 4.1's recurring-job mode: run one monitors and
+        # adapts (Fig. 12); run two starts with the calibrated model and
+        # needs no mid-flight correction.
+        job = PlannerJob(name="kmeans", input_gb=8.0)
+        result = run_recurring(
+            job,
+            mispredicted_services(),
+            Goal.min_cost(deadline_hours=8.0),
+            slow_world(),
+            network=NETWORK,
+        )
+        assert result.first.completed
+        assert result.second.completed
+        assert result.first.replans >= 1
+        assert result.second.replans == 0
+        assert result.replans_eliminated >= 1
+        assert result.second.deadline_met
+
+    def test_calibrated_run_is_not_more_expensive(self):
+        job = PlannerJob(name="kmeans", input_gb=8.0)
+        result = run_recurring(
+            job,
+            mispredicted_services(),
+            Goal.min_cost(deadline_hours=8.0),
+            slow_world(),
+            network=NETWORK,
+        )
+        # The calibrated plan can only do better (or equal): it faces
+        # the same world with a correct model.
+        assert result.second.total_cost <= result.first.total_cost + 0.5
+
+    def test_well_predicted_job_gains_nothing(self):
+        job = PlannerJob(name="kmeans", input_gb=8.0)
+        result = run_recurring(
+            job,
+            public_cloud(),
+            Goal.min_cost(deadline_hours=8.0),
+            ActualConditions.as_predicted(),
+            network=NETWORK,
+        )
+        assert result.first.replans == 0
+        assert result.second.replans == 0
+        assert result.second.total_cost == pytest.approx(
+            result.first.total_cost, rel=1e-6
+        )

@@ -1,0 +1,94 @@
+"""Integration tests: full discrete-event deployment strategies.
+
+These exercise the complete stack (planner -> plan deployer -> MapReduce
+engine -> storage layer -> fluid network -> ledger) on a scaled-down job
+so they stay fast; the full-size runs live in `benchmarks/`.
+"""
+
+import pytest
+
+from repro.cloud import local_cluster
+from repro.core import (
+    DeploymentScenario,
+    run_conductor,
+    run_hadoop_direct,
+    run_hadoop_s3,
+    run_hadoop_upload_first,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    # 8 GB at 16 Mbit/s: upload ~1.14 h, everything finishes inside 3 h.
+    return DeploymentScenario(input_gb=8.0, deadline_hours=3.0)
+
+
+class TestBaselines:
+    def test_hadoop_direct_is_streamed_and_upload_bound(self, scenario):
+        # 16 nodes (7.04 GB/h) match the 2 MB/s uplink (7.03 GB/h): the
+        # 8 GB job is upload-bound at ~1.14 h plus the processing tail.
+        result = run_hadoop_direct(scenario, nodes=16)
+        assert result.streamed
+        assert result.runtime_s == pytest.approx(1.4 * 3600, rel=0.25)
+        assert result.deadline_met
+
+    def test_hadoop_s3_has_upload_phase_and_s3_charges(self, scenario):
+        result = run_hadoop_s3(scenario, nodes=24)
+        assert not result.streamed
+        assert result.upload_s == pytest.approx(8 * 1024 / 2.0, rel=0.05)
+        breakdown = result.cost_breakdown()
+        assert breakdown["storage/S3"] > 0
+        assert result.task_series[-1][1] >= 128  # all map tasks ran
+
+    def test_upload_first_bills_the_upload_node_longer(self, scenario):
+        result = run_hadoop_upload_first(scenario, nodes=24)
+        from repro.accounting import CostCategory
+
+        leases = [
+            e.quantity for e in result.ledger if e.category is CostCategory.COMPUTE
+        ]
+        # One node (the HDFS host) is leased for the upload + processing,
+        # the rest only for processing.
+        assert max(leases) >= 2.0
+        assert sorted(leases)[0] <= 2.0
+
+    def test_costs_scale_with_node_count(self, scenario):
+        small = run_hadoop_direct(scenario, nodes=6)
+        large = run_hadoop_direct(scenario, nodes=18)
+        assert large.total_cost > small.total_cost
+
+
+class TestConductorDeployment:
+    def test_plan_is_deployed_and_completes(self, scenario):
+        result = run_conductor(scenario)
+        assert result.plan is not None
+        assert result.task_series[-1][1] >= 128
+        # Deployment lands within 15% of the plan's completion estimate.
+        planned = result.plan.predicted_completion_hours
+        assert result.runtime_s / 3600 <= planned * 1.15 + 0.3
+
+    def test_cost_close_to_plan(self, scenario):
+        result = run_conductor(scenario)
+        assert result.total_cost <= result.plan.predicted_cost * 1.4 + 0.5
+
+    def test_conductor_not_worse_than_naive_big_cluster(self, scenario):
+        conductor = run_conductor(scenario)
+        naive = run_hadoop_s3(scenario, nodes=24)
+        assert conductor.total_cost <= naive.total_cost * 1.05
+
+    def test_hybrid_uses_free_local_nodes(self):
+        scenario = DeploymentScenario(
+            input_gb=8.0,
+            deadline_hours=4.0,
+            local=local_cluster(5),
+            local_nodes=5,
+        )
+        result = run_conductor(scenario)
+        # With 4 h of 5 free nodes (8.8 GB capacity), EC2 is barely needed.
+        assert result.total_cost < 3.0
+
+    def test_ledger_categories_consistent(self, scenario):
+        result = run_conductor(scenario)
+        assert result.total_cost == pytest.approx(
+            sum(result.cost_breakdown().values())
+        )

@@ -1,0 +1,216 @@
+"""Tests for the LP model builder: plan invariants across scenarios."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import hybrid_cloud, public_cloud, s3, ec2_m1_large
+from repro.core import (
+    Goal,
+    NetworkConditions,
+    PlannerJob,
+    PlanningError,
+    PlanningProblem,
+    build_model,
+)
+
+NET = NetworkConditions.from_mbit_s(16.0)
+
+
+def plan_for(problem):
+    built = build_model(problem)
+    solution = built.solve()
+    assert solution.status.has_solution, solution.message
+    return built.extract_plan(solution), built
+
+
+def default_problem(**kwargs):
+    defaults = dict(
+        job=PlannerJob(name="t", input_gb=32.0),
+        services=public_cloud(),
+        network=NET,
+        goal=Goal.min_cost(deadline_hours=6.0),
+    )
+    defaults.update(kwargs)
+    return PlanningProblem(**defaults)
+
+
+class TestPlanInvariants:
+    def test_all_input_uploaded_processed_downloaded(self):
+        plan, _ = plan_for(default_problem())
+        job = PlannerJob(name="t", input_gb=32.0)
+        assert plan.total_uploaded_gb() == pytest.approx(32.0, abs=1e-4)
+        assert plan.total_map_gb() == pytest.approx(32.0, abs=1e-4)
+        assert plan.total_reduce_gb() == pytest.approx(job.map_output_gb, abs=1e-4)
+        assert plan.total_downloaded_gb() == pytest.approx(job.result_gb, abs=1e-4)
+
+    def test_uplink_respected_per_interval(self):
+        plan, _ = plan_for(default_problem())
+        for interval in plan.intervals:
+            assert interval.total_upload_gb <= NET.uplink_gb_per_hour + 1e-6
+
+    def test_capacity_respected(self):
+        plan, built = plan_for(default_problem())
+        job = built.problem.job
+        services = {s.name: s for s in built.problem.services}
+        for interval in plan.intervals:
+            per_service: dict[str, float] = {}
+            for (src, dst), gb in interval.map_read_gb.items():
+                per_service[dst] = per_service.get(dst, 0.0) + gb
+            for name, gb in per_service.items():
+                cap = interval.nodes.get(name, 0) * job.map_rate(services[name])
+                assert gb <= cap * interval.duration_hours + 1e-6
+
+    def test_deadline_met(self):
+        plan, _ = plan_for(default_problem())
+        assert plan.predicted_completion_hours <= 6.0 + 1e-6
+
+    def test_solution_passes_model_self_check(self):
+        problem = default_problem()
+        built = build_model(problem)
+        solution = built.solve()
+        assert built.model.check_feasible(solution.values) == []
+
+    def test_infeasible_deadline_detected(self):
+        # 32 GB over a 16 Mbit/s uplink cannot finish in 2 hours.
+        problem = default_problem(goal=Goal.min_cost(deadline_hours=2.0))
+        built = build_model(problem)
+        assert not built.solve().status.has_solution
+
+    def test_cost_matches_breakdown(self):
+        plan, _ = plan_for(default_problem())
+        assert plan.predicted_cost == pytest.approx(
+            sum(plan.predicted_cost_breakdown.values()), abs=1e-6
+        )
+
+
+class TestScenarioShapes:
+    def test_local_cluster_cap_respected(self):
+        plan, _ = plan_for(
+            default_problem(
+                services=hybrid_cloud(local_nodes=5),
+                goal=Goal.min_cost(deadline_hours=8.0),
+            )
+        )
+        assert plan.peak_nodes("local.cluster") <= 5
+
+    def test_free_local_nodes_preferred_when_deadline_allows(self):
+        # With a very loose deadline, the free cluster does everything.
+        plan, _ = plan_for(
+            default_problem(
+                services=hybrid_cloud(local_nodes=5),
+                goal=Goal.min_cost(deadline_hours=24.0),
+            )
+        )
+        assert plan.predicted_cost < 1.0
+        assert plan.peak_nodes("ec2.m1.large") == 0
+
+    def test_tighter_deadline_never_cheaper(self):
+        loose, _ = plan_for(default_problem(goal=Goal.min_cost(deadline_hours=12.0)))
+        tight, _ = plan_for(default_problem(goal=Goal.min_cost(deadline_hours=6.0)))
+        assert tight.predicted_cost >= loose.predicted_cost - 1e-6
+
+    def test_constant_nodes_restriction_costs_more(self):
+        free, _ = plan_for(default_problem())
+        constant, _ = plan_for(default_problem(constant_nodes=True))
+        assert constant.predicted_cost >= free.predicted_cost - 1e-6
+        nodes = {
+            tuple(sorted(i.nodes.items())) for i in constant.intervals
+        }
+        assert len(nodes) == 1  # identical allocation every interval
+
+    def test_upload_fractions_enforced(self):
+        plan, _ = plan_for(
+            default_problem(
+                upload_fractions={"s3": 0.25, "ec2.m1.large": 0.75},
+                goal=Goal.min_cost(deadline_hours=8.0),
+            )
+        )
+        assert plan.total_uploaded_gb("s3") == pytest.approx(8.0, abs=1e-3)
+        assert plan.total_uploaded_gb("ec2.m1.large") == pytest.approx(24.0, abs=1e-3)
+
+    def test_spot_estimates_shift_work_to_cheap_hours(self):
+        spot = ec2_m1_large().replace(name="spot", is_spot=True)
+        # Hours 0-5 expensive, 6-11 cheap.
+        estimates = [0.34] * 6 + [0.05] * 6
+        plan, _ = plan_for(
+            default_problem(
+                services=[spot, s3()],
+                goal=Goal.min_cost(deadline_hours=12.0),
+                spot_price_estimates={"spot": estimates},
+            )
+        )
+        expensive_nodes = sum(
+            i.total_nodes for i in plan.intervals if i.index <= 6
+        )
+        cheap_nodes = sum(i.total_nodes for i in plan.intervals if i.index > 6)
+        assert cheap_nodes > expensive_nodes
+
+    def test_min_time_goal_reaches_earliest_feasible(self):
+        plan, _ = plan_for(
+            default_problem(goal=Goal.min_time(budget_usd=40.0, horizon_hours=12))
+        )
+        # The uplink bounds completion below ~5 h; min-time should hit it.
+        assert plan.predicted_completion_hours <= 6.0
+
+    def test_min_time_respects_budget(self):
+        plan, _ = plan_for(
+            default_problem(goal=Goal.min_time(budget_usd=26.0, horizon_hours=12))
+        )
+        assert plan.predicted_cost <= 26.0 + 1e-6
+
+    def test_replanning_from_partial_state(self):
+        from repro.core import SystemState
+
+        job = PlannerJob(name="t", input_gb=32.0)
+        state = SystemState(
+            hour=2.0,
+            source_remaining_gb=16.0,
+            stored_input={"ec2.m1.large": 4.0},
+            map_done_gb=12.0,
+            # Output of the completed map work is parked on EC2 disks.
+            stored_output={"ec2.m1.large": 12.0 * job.map_output_ratio},
+        )
+        plan, _ = plan_for(
+            default_problem(goal=Goal.min_cost(deadline_hours=4.0), state=state)
+        )
+        # Only the remaining halves move.
+        assert plan.total_uploaded_gb() == pytest.approx(16.0, abs=1e-4)
+        assert plan.total_map_gb() == pytest.approx(20.0, abs=1e-4)
+        assert plan.intervals[0].start_hour == pytest.approx(2.0)
+
+
+class TestStateValidation:
+    def test_overfull_state_rejected(self):
+        from repro.core import SystemState
+
+        state = SystemState(
+            source_remaining_gb=30.0,
+            stored_input={"s3": 10.0},
+            map_done_gb=10.0,
+        )
+        with pytest.raises(ValueError):
+            build_model(default_problem(state=state))
+
+
+@given(
+    input_gb=st.floats(4.0, 96.0),
+    deadline=st.integers(6, 20),
+)
+@settings(max_examples=12, deadline=None)
+def test_property_conservation_across_random_jobs(input_gb, deadline):
+    """Flow conservation holds for arbitrary job sizes and horizons."""
+    upload_hours = input_gb / NET.uplink_gb_per_hour
+    if deadline < upload_hours + 1.0:
+        deadline = int(upload_hours + 2)
+    problem = default_problem(
+        job=PlannerJob(name="p", input_gb=input_gb),
+        goal=Goal.min_cost(deadline_hours=float(deadline)),
+    )
+    built = build_model(problem)
+    solution = built.solve()
+    assert solution.status.has_solution
+    plan = built.extract_plan(solution)
+    assert plan.total_uploaded_gb() == pytest.approx(input_gb, rel=1e-4)
+    assert plan.total_map_gb() == pytest.approx(input_gb, rel=1e-4)
+    assert built.model.check_feasible(solution.values) == []

@@ -1,0 +1,260 @@
+"""Unit and property tests for the reliability / recovery-cost model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PipelineReliabilityModel,
+    RetentionPolicy,
+    StageProfile,
+    StorageTier,
+    choose_tiers,
+    durable_premium_break_even,
+)
+
+
+def uniform_stages(n, cost=5.0, hours=1.0, gb=4.0):
+    return [
+        StageProfile(f"s{i}", exec_cost=cost, exec_hours=hours, output_gb=gb)
+        for i in range(n)
+    ]
+
+
+CHEAP = StorageTier("cheap", cost_gb_hour=1e-4, loss_per_hour=0.02)
+DURABLE = StorageTier("durable", cost_gb_hour=3e-4, loss_per_hour=0.0)
+
+
+class TestStorageTier:
+    def test_loss_probability_bounds(self):
+        with pytest.raises(ValueError):
+            StorageTier("bad", 0.0, loss_per_hour=1.5)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            StorageTier("bad", -1.0, loss_per_hour=0.0)
+
+    def test_loss_within_compounds(self):
+        tier = StorageTier("t", 0.0, loss_per_hour=0.5)
+        assert tier.loss_within(1.0) == pytest.approx(0.5)
+        assert tier.loss_within(2.0) == pytest.approx(0.75)
+        assert tier.loss_within(0.0) == 0.0
+
+    def test_durable_classification(self):
+        assert DURABLE.is_durable
+        assert not CHEAP.is_durable
+
+    def test_from_replication_loss_and_price(self):
+        base = StorageTier.from_replication("r1", 1e-4, 1, node_loss_per_hour=1e-2)
+        tripled = StorageTier.from_replication("r3", 1e-4, 3, node_loss_per_hour=1e-2)
+        assert tripled.loss_per_hour == pytest.approx(1e-6)
+        assert tripled.cost_gb_hour == pytest.approx(3e-4)
+        assert base.loss_per_hour == pytest.approx(1e-2)
+
+    def test_from_replication_validates_probability(self):
+        with pytest.raises(ValueError):
+            StorageTier.from_replication("bad", 1e-4, 2, node_loss_per_hour=1.0)
+
+
+class TestExpectedCostModel:
+    def test_no_loss_means_plain_sum(self):
+        stages = uniform_stages(3)
+        model = PipelineReliabilityModel(stages)
+        outcome = model.evaluate([DURABLE] * 3)
+        assert outcome.execution_cost == pytest.approx(15.0)
+        assert outcome.total_hours == pytest.approx(3.0)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineReliabilityModel([])
+
+    def test_assignment_arity_checked(self):
+        model = PipelineReliabilityModel(uniform_stages(3))
+        with pytest.raises(ValueError, match="3 stages"):
+            model.evaluate([DURABLE])
+
+    def test_loss_inflates_cost(self):
+        stages = uniform_stages(3)
+        model = PipelineReliabilityModel(stages)
+        risky = model.evaluate([CHEAP] * 3)
+        safe = model.evaluate([DURABLE] * 3)
+        assert risky.execution_cost > safe.execution_cost
+
+    def test_discard_policy_costs_more_than_keep_all(self):
+        # Discarding consumed intermediates widens the recovery scope.
+        stages = uniform_stages(5)
+        discard = PipelineReliabilityModel(
+            stages, RetentionPolicy.DISCARD_AFTER_USE
+        ).evaluate([CHEAP] * 5)
+        keep = PipelineReliabilityModel(
+            stages, RetentionPolicy.KEEP_ALL
+        ).evaluate([CHEAP] * 5)
+        assert discard.execution_cost >= keep.execution_cost - 1e-9
+
+    def test_recovery_scope_grows_with_stage_index_under_discard(self):
+        stages = uniform_stages(4)
+        model = PipelineReliabilityModel(
+            stages, RetentionPolicy.DISCARD_AFTER_USE
+        )
+        outcome = model.evaluate([CHEAP] * 4)
+        scopes = [s.recovery_scope for s in outcome.stages]
+        assert scopes == [0, 1, 2, 3]
+
+    def test_durable_checkpoint_resets_cascade(self):
+        stages = uniform_stages(4)
+        model = PipelineReliabilityModel(stages, RetentionPolicy.KEEP_ALL)
+        # Durable after stage 1: stage 3's loss only re-runs stages 2+.
+        assignment = [CHEAP, DURABLE, CHEAP, CHEAP]
+        outcome = model.evaluate(assignment)
+        assert outcome.stages[3].recovery_scope == 1
+        all_cheap = model.evaluate([CHEAP] * 4)
+        assert outcome.execution_cost < all_cheap.execution_cost
+
+    def test_storage_cost_scales_with_retention(self):
+        stages = uniform_stages(4)
+        keep = PipelineReliabilityModel(stages, RetentionPolicy.KEEP_ALL)
+        discard = PipelineReliabilityModel(
+            stages, RetentionPolicy.DISCARD_AFTER_USE
+        )
+        assert (
+            keep.evaluate([DURABLE] * 4).storage_cost
+            > discard.evaluate([DURABLE] * 4).storage_cost
+        )
+
+    def test_certain_loss_is_infinite(self):
+        stages = uniform_stages(2)
+        doomed = StorageTier("doomed", 0.0, loss_per_hour=1.0)
+        outcome = PipelineReliabilityModel(stages).evaluate([doomed, doomed])
+        assert math.isinf(outcome.total_cost)
+
+
+class TestChooseTiers:
+    def test_free_durable_always_wins(self):
+        free_durable = StorageTier("free-durable", 0.0, 0.0)
+        choice = choose_tiers(uniform_stages(3), [CHEAP, free_durable])
+        assert choice.tier_names == ("free-durable",) * 3
+
+    def test_expensive_durable_skipped_when_loss_tiny(self):
+        barely_lossy = StorageTier("almost-safe", 1e-6, loss_per_hour=1e-7)
+        pricey = StorageTier("pricey", 10.0, loss_per_hour=0.0)
+        choice = choose_tiers(uniform_stages(3), [barely_lossy, pricey])
+        assert choice.tier_names == ("almost-safe",) * 3
+
+    def test_no_tiers_rejected(self):
+        with pytest.raises(ValueError):
+            choose_tiers(uniform_stages(2), [])
+
+    def test_matches_brute_force(self):
+        import itertools
+
+        stages = [
+            StageProfile("a", 2.0, 0.5, 1.0),
+            StageProfile("b", 8.0, 2.0, 6.0),
+            StageProfile("c", 1.0, 0.25, 0.5),
+        ]
+        tiers = [CHEAP, DURABLE]
+        model = PipelineReliabilityModel(stages, RetentionPolicy.KEEP_ALL)
+        brute = min(
+            (
+                model.evaluate(list(combo)).total_cost
+                for combo in itertools.product(tiers, repeat=3)
+            )
+        )
+        choice = choose_tiers(stages, tiers, RetentionPolicy.KEEP_ALL)
+        assert choice.outcome.total_cost == pytest.approx(brute)
+
+    def test_deep_pipeline_uses_pattern_fallback(self):
+        # 24 stages x 3 tiers exceeds the exact-enumeration budget.
+        tiers = [
+            CHEAP,
+            DURABLE,
+            StorageTier("mid", 2e-4, loss_per_hour=1e-3),
+        ]
+        choice = choose_tiers(uniform_stages(24), tiers)
+        assert len(choice.assignment) == 24
+        assert choice.outcome.total_cost < math.inf
+
+    def test_later_stages_prefer_durable_under_discard(self):
+        # The paper's Section 2.1 claim: as the pipeline progresses,
+        # reliable storage becomes the better buy.
+        stages = uniform_stages(6, cost=10.0, hours=1.0, gb=50.0)
+        cheap = StorageTier("cheap", 1e-5, loss_per_hour=0.01)
+        durable = StorageTier("durable", 9e-4, loss_per_hour=0.0)
+        choice = choose_tiers(
+            stages, [cheap, durable], RetentionPolicy.DISCARD_AFTER_USE
+        )
+        names = choice.tier_names
+        # Once the plan switches to durable it never switches back
+        # (ignoring the final handoff stage, which has no exposure).
+        switched = False
+        for name in names[:-1]:
+            if name == "durable":
+                switched = True
+            elif switched:
+                pytest.fail(f"non-monotone tier pattern: {names}")
+
+
+class TestBreakEvenPremium:
+    def test_monotone_under_discard(self):
+        stages = uniform_stages(5)
+        premiums = durable_premium_break_even(stages, CHEAP)
+        # Exposure-bearing stages: value of durability rises with index.
+        assert all(
+            premiums[i] <= premiums[i + 1] + 1e-12
+            for i in range(len(premiums) - 2)
+        )
+
+    def test_final_stage_premium_zero(self):
+        stages = uniform_stages(4)
+        premiums = durable_premium_break_even(stages, CHEAP)
+        assert premiums[-1] == pytest.approx(0.0)
+
+    def test_reliable_input_no_premium_without_loss(self):
+        safe = StorageTier("safe", 0.0, loss_per_hour=0.0)
+        premiums = durable_premium_break_even(uniform_stages(3), safe)
+        assert all(p == pytest.approx(0.0) for p in premiums)
+
+
+class TestProperties:
+    @given(
+        n=st.integers(2, 6),
+        loss=st.floats(0.0, 0.2),
+        cost=st.floats(0.5, 20.0),
+        hours=st.floats(0.1, 4.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_expected_cost_at_least_failure_free(self, n, loss, cost, hours):
+        stages = uniform_stages(n, cost=cost, hours=hours)
+        tier = StorageTier("t", 0.0, loss_per_hour=loss)
+        outcome = PipelineReliabilityModel(stages).evaluate([tier] * n)
+        assert outcome.execution_cost >= n * cost - 1e-9
+
+    @given(
+        loss_low=st.floats(0.0, 0.1),
+        bump=st.floats(0.0, 0.2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cost_monotone_in_loss_rate(self, loss_low, bump):
+        stages = uniform_stages(4)
+        low = StorageTier("low", 0.0, loss_per_hour=loss_low)
+        high = StorageTier("high", 0.0, loss_per_hour=min(loss_low + bump, 0.9))
+        model = PipelineReliabilityModel(stages)
+        assert (
+            model.evaluate([high] * 4).execution_cost
+            >= model.evaluate([low] * 4).execution_cost - 1e-9
+        )
+
+    @given(n=st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_choice_never_worse_than_uniform(self, n):
+        stages = uniform_stages(n)
+        tiers = [CHEAP, DURABLE]
+        choice = choose_tiers(stages, tiers)
+        model = PipelineReliabilityModel(stages)
+        for tier in tiers:
+            assert (
+                choice.outcome.total_cost
+                <= model.evaluate([tier] * n).total_cost + 1e-9
+            )

@@ -1,0 +1,92 @@
+"""Tests for the Fig. 14 spot simulation harness."""
+
+import pytest
+
+from repro.cloud import aws_like_trace, electricity_like_trace
+from repro.cloud.traces import constant_trace
+from repro.core import (
+    CurrentPricePredictor,
+    OptimalPredictor,
+    PlannerJob,
+)
+from repro.core.spot_sim import (
+    run_regular_baseline,
+    run_spot_scenario,
+    spot_services,
+)
+
+JOB = PlannerJob(name="kmeans", input_gb=16.0)
+
+
+class TestSpotServices:
+    def test_spot_nodes_hold_no_plan_data_by_default(self):
+        services = spot_services()
+        spot = next(s for s in services if s.is_spot)
+        assert not spot.can_store  # out-bid termination would lose data
+
+    def test_opt_in_storage_on_spot_nodes(self):
+        services = spot_services(storage_on_spot_nodes=True)
+        spot = next(s for s in services if s.is_spot)
+        assert spot.can_store
+
+
+class TestScenarios:
+    def test_regular_baseline_deterministic(self):
+        a = run_regular_baseline(JOB, deadline_hours=8.0)
+        b = run_regular_baseline(JOB, deadline_hours=8.0)
+        assert a.costs == b.costs
+        assert a.label == "regular"
+
+    def test_flat_trace_costs_floor_price(self):
+        trace = constant_trace(0.16, days=4)
+        result = run_spot_scenario(
+            JOB,
+            trace,
+            CurrentPricePredictor(),
+            deadline_hours=8.0,
+            start_offsets=[24.0],
+        )
+        # ~37 node-hours at $0.16 (16 GB needs 16/0.44 = 36.4 node-h).
+        assert result.costs[0] == pytest.approx(37 * 0.16, rel=0.08)
+
+    def test_spot_cheaper_than_regular(self):
+        trace = aws_like_trace(days=5, seed=11)
+        regular = run_regular_baseline(JOB, deadline_hours=8.0)
+        spot = run_spot_scenario(
+            JOB,
+            trace,
+            OptimalPredictor(),
+            deadline_hours=8.0,
+            start_offsets=[24.0, 48.0],
+        )
+        assert spot.summary["average"] < 0.7 * regular.costs[0]
+
+    def test_oracle_not_beaten_by_p0(self):
+        trace = electricity_like_trace(days=6, seed=11)
+        offsets = [24.0, 48.0, 72.0]
+        opt = run_spot_scenario(
+            JOB, trace, OptimalPredictor(), deadline_hours=10.0, start_offsets=offsets
+        )
+        p0 = run_spot_scenario(
+            JOB, trace, CurrentPricePredictor(), deadline_hours=10.0,
+            start_offsets=offsets,
+        )
+        assert p0.summary["average"] >= opt.summary["average"] - 0.3
+
+    def test_default_offsets_cover_trace(self):
+        trace = aws_like_trace(days=4, seed=1)
+        result = run_spot_scenario(
+            JOB, trace, CurrentPricePredictor(), deadline_hours=8.0
+        )
+        # Days 1..(4 - deadline/24), one run per day.
+        assert len(result.costs) >= 2
+
+    def test_summary_fields(self):
+        trace = constant_trace(0.2, days=3)
+        result = run_spot_scenario(
+            JOB, trace, CurrentPricePredictor(), deadline_hours=8.0,
+            start_offsets=[24.0],
+        )
+        summary = result.summary
+        assert set(summary) == {"average", "maximum", "stddev"}
+        assert summary["stddev"] == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,163 @@
+"""Tests for spot-instance storage volatility (Section 2.1 faults).
+
+Data parked on spot-instance virtual disks dies with the instances when
+an out-bid hour terminates them; the executor must rewind progress and
+the controller must re-plan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.catalog import ec2_m1_large, ec2_spot_m1_large, s3
+from repro.cloud.spot import SpotTrace
+from repro.core import (
+    ActualConditions,
+    CurrentPricePredictor,
+    FluidExecutor,
+    Goal,
+    JobController,
+    NetworkConditions,
+    PlannerJob,
+    PlanningProblem,
+    SystemState,
+)
+from repro.core.plan import PlanInterval
+
+NETWORK = NetworkConditions.from_mbit_s(16.0)
+
+
+def step_trace(low=0.1, high=10.0, jump_at=2.0, days=3):
+    prices = np.where(np.arange(days * 24.0) < jump_at, low, high)
+    return SpotTrace(prices=prices, label="step")
+
+
+def spot_problem(job=None):
+    spot = ec2_spot_m1_large()  # can_store=True by default
+    return PlanningProblem(
+        job=job or PlannerJob(name="kmeans", input_gb=4.0),
+        services=[spot, s3()],
+        network=NETWORK,
+        goal=Goal.min_cost(deadline_hours=8.0),
+    )
+
+
+def interval(index, nodes, **kwargs):
+    defaults = dict(
+        index=index,
+        start_hour=float(index),
+        duration_hours=1.0,
+        nodes=nodes,
+    )
+    defaults.update(kwargs)
+    return PlanInterval(**defaults)
+
+
+class TestExecutorLossSemantics:
+    def make_executor(self, trace, volatile=True):
+        problem = spot_problem()
+        actual = ActualConditions(
+            spot_traces={"ec2.m1.large.spot": trace},
+            spot_storage_volatile=volatile,
+        )
+        return FluidExecutor(problem, actual), problem
+
+    def test_outbid_destroys_spot_stored_input(self):
+        executor, problem = self.make_executor(step_trace(jump_at=0.0))
+        executor.bids["ec2.m1.large.spot"] = 0.5  # below the 10.0 market
+        state = SystemState(
+            hour=0.0,
+            source_remaining_gb=0.0,
+            stored_input={"ec2.m1.large.spot": 3.0, "s3": 1.0},
+        )
+        outcome = executor.execute_interval(
+            interval(0, {"ec2.m1.large.spot": 4}), state
+        )
+        assert outcome.outbid_services == ["ec2.m1.large.spot"]
+        assert outcome.spot_data_lost_gb == pytest.approx(3.0)
+        # Lost input returns to the source; the S3 copy survives.
+        assert state.source_remaining_gb == pytest.approx(3.0)
+        assert state.stored_input.get("ec2.m1.large.spot", 0.0) == 0.0
+        assert state.stored_input["s3"] == pytest.approx(1.0)
+
+    def test_outbid_rewinds_map_progress_for_lost_output(self):
+        executor, problem = self.make_executor(step_trace(jump_at=0.0))
+        executor.bids["ec2.m1.large.spot"] = 0.5
+        job = problem.job
+        lost_output = 2.0 * job.map_output_ratio
+        state = SystemState(
+            hour=0.0,
+            source_remaining_gb=0.0,
+            stored_input={"s3": 2.0},  # re-mappable copy still in the cloud
+            stored_output={"ec2.m1.large.spot": lost_output},
+            map_done_gb=2.0,
+        )
+        executor.execute_interval(
+            interval(0, {"ec2.m1.large.spot": 4}), state
+        )
+        # Progress rewound so the lost map output gets recomputed — but
+        # mapping may have also advanced during the hour from the S3 copy.
+        assert state.stored_output.get("ec2.m1.large.spot", 0.0) == 0.0
+        assert state.source_remaining_gb == pytest.approx(0.0)
+
+    def test_no_loss_when_flag_disabled(self):
+        executor, _problem = self.make_executor(
+            step_trace(jump_at=0.0), volatile=False
+        )
+        executor.bids["ec2.m1.large.spot"] = 0.5
+        state = SystemState(
+            hour=0.0,
+            source_remaining_gb=0.0,
+            stored_input={"ec2.m1.large.spot": 3.0, "s3": 1.0},
+        )
+        outcome = executor.execute_interval(
+            interval(0, {"ec2.m1.large.spot": 4}), state
+        )
+        assert outcome.spot_data_lost_gb == 0.0
+        assert state.stored_input["ec2.m1.large.spot"] == pytest.approx(3.0)
+
+    def test_running_instances_keep_their_disks(self):
+        executor, _problem = self.make_executor(step_trace(jump_at=48.0))
+        executor.bids["ec2.m1.large.spot"] = 0.5  # market is 0.1: survives
+        state = SystemState(
+            hour=0.0,
+            source_remaining_gb=0.0,
+            stored_input={"ec2.m1.large.spot": 3.0},
+        )
+        outcome = executor.execute_interval(
+            interval(0, {"ec2.m1.large.spot": 4}), state
+        )
+        assert outcome.spot_data_lost_gb == 0.0
+        assert outcome.outbid_services == []
+
+    def test_non_spot_storage_never_volatile(self):
+        executor, _problem = self.make_executor(step_trace(jump_at=0.0))
+        state = SystemState(
+            hour=0.0, source_remaining_gb=0.0, stored_input={"s3": 4.0}
+        )
+        executor.execute_interval(interval(0, {}), state)
+        assert state.stored_input["s3"] == pytest.approx(4.0)
+
+
+class TestControllerRecovery:
+    def test_controller_replans_after_spot_loss_and_finishes(self):
+        # Spot price jumps mid-run: work/data on spot instances is lost,
+        # the controller re-plans and still completes the job.
+        trace = step_trace(low=0.1, high=10.0, jump_at=2.0, days=3)
+        spot = ec2_spot_m1_large()
+        job = PlannerJob(name="kmeans", input_gb=4.0)
+        # On-demand EC2 is available as the fallback: once the market
+        # spikes past the bid cap, re-planning shifts the work there.
+        controller = JobController(
+            job,
+            [spot, ec2_m1_large(), s3()],
+            Goal.min_cost(deadline_hours=10.0),
+            network=NETWORK,
+            predictor=CurrentPricePredictor(),
+            trace=trace,
+        )
+        actual = ActualConditions(
+            spot_traces={spot.name: trace}, spot_storage_volatile=True
+        )
+        result = controller.run(actual)
+        assert result.completed
+        assert result.replans >= 1

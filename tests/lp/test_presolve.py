@@ -1,0 +1,194 @@
+"""Tests for the presolve reductions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp import Model, VarType
+from repro.lp.presolve import presolve
+
+
+def build_and_presolve(build):
+    model = Model("t")
+    build(model)
+    compiled = model.compile()
+    return compiled, presolve(compiled)
+
+
+class TestFixedColumns:
+    def test_fixed_variable_removed_and_substituted(self):
+        model = Model("t")
+        x = model.add_var("x", lb=3.0, ub=3.0)
+        y = model.add_var("y", ub=10.0)
+        model.add_constr(x + y <= 8.0, "cap")
+        model.minimize(x + 2 * y)
+        result = presolve(model.compile())
+        assert result.stats.fixed_columns == 1
+        assert result.reduced.num_vars == 1
+        # x=3 substituted: the row becomes the singleton y <= 5, which a
+        # later pass converts into a bound; the objective gains offset 3.
+        assert result.reduced.rows == []
+        assert result.reduced.var_ub[0] == pytest.approx(5.0)
+        assert result.reduced.objective_offset == pytest.approx(3.0)
+
+    def test_fixed_integer_rounds(self):
+        model = Model("t")
+        model.add_var("n", lb=2.0000000001, ub=2.0000000001, vtype=VarType.INTEGER)
+        model.minimize(0)
+        result = presolve(model.compile())
+        assert result.fixed_values[0] == pytest.approx(2.0)
+
+    def test_restore_places_fixed_values(self):
+        model = Model("t")
+        model.add_var("x", lb=3.0, ub=3.0)
+        model.add_var("y", ub=10.0)
+        model.minimize(0)
+        result = presolve(model.compile())
+        full = result.restore([7.0])
+        assert full == [3.0, 7.0]
+
+
+class TestSingletonRows:
+    def test_singleton_row_becomes_bound(self):
+        model = Model("t")
+        x = model.add_var("x", ub=100.0)
+        model.add_constr(2 * x <= 10.0, "cap")
+        model.minimize(-x)  # push against the bound
+        result = presolve(model.compile())
+        assert result.stats.singleton_rows == 1
+        assert result.reduced.rows == []
+        assert result.reduced.var_ub[0] == pytest.approx(5.0)
+
+    def test_negative_coefficient_flips_bound(self):
+        model = Model("t")
+        x = model.add_var("x", ub=100.0)
+        model.add_constr(-1.0 * x <= -4.0, "floor")  # x >= 4
+        model.minimize(x)
+        result = presolve(model.compile())
+        assert result.reduced.var_lb[0] == pytest.approx(4.0)
+
+    def test_contradictory_singletons_infeasible(self):
+        model = Model("t")
+        x = model.add_var("x", ub=100.0)
+        model.add_constr(x <= 2.0, "hi")
+        model.add_constr(x >= 5.0, "lo")
+        model.minimize(x)
+        result = presolve(model.compile())
+        assert result.infeasible
+
+
+class TestRedundantAndEmptyRows:
+    def test_row_implied_by_bounds_dropped(self):
+        model = Model("t")
+        x = model.add_var("x", ub=2.0)
+        y = model.add_var("y", ub=2.0)
+        model.add_constr(x + y <= 100.0, "loose")
+        model.minimize(x + y)
+        result = presolve(model.compile())
+        assert result.stats.redundant_rows >= 1
+        assert result.reduced.rows == []
+
+    def test_provably_violated_row_infeasible(self):
+        model = Model("t")
+        x = model.add_var("x", ub=1.0)
+        y = model.add_var("y", ub=1.0)
+        model.add_constr(x + y >= 5.0, "impossible")
+        model.minimize(x)
+        result = presolve(model.compile())
+        assert result.infeasible
+
+    def test_binding_row_kept(self):
+        model = Model("t")
+        x = model.add_var("x", ub=10.0)
+        y = model.add_var("y", ub=10.0)
+        model.add_constr(x + y <= 5.0, "binding")
+        model.minimize(-x - y)
+        result = presolve(model.compile())
+        assert len(result.reduced.rows) == 1
+
+
+class TestSolveEquivalence:
+    def diet_model(self):
+        model = Model("diet")
+        x = model.add_var("x", ub=10.0)
+        y = model.add_var("y", ub=10.0)
+        z = model.add_var("z", lb=1.0, ub=1.0)  # fixed by bounds
+        model.add_constr(2 * x + y + z >= 6.0, "protein")
+        model.add_constr(x + 3 * y >= 9.0, "fiber")
+        model.add_constr(x <= 8.0, "stock")  # singleton
+        model.minimize(3 * x + 2 * y + 5 * z)
+        return model
+
+    def test_presolved_solution_matches_full_solve(self):
+        model = self.diet_model()
+        direct = model.solve(backend="scipy")
+        compiled = model.compile()
+        result = presolve(compiled)
+        assert not result.infeasible
+        from repro.lp import scipy_backend
+
+        reduced_solution = scipy_backend.solve(result.reduced)
+        assert reduced_solution.status.has_solution
+        # Restore to full columns and evaluate the original objective.
+        reduced_vector = [0.0] * result.reduced.num_vars
+        for col, var in enumerate(result.reduced.columns):
+            reduced_vector[col] = reduced_solution.values[var]
+        full = result.restore(reduced_vector)
+        value = sum(
+            coef * full[col] for col, coef in compiled.objective.items()
+        ) + compiled.objective_offset
+        assert value == pytest.approx(direct.objective, rel=1e-6)
+
+    @given(
+        ub=st.floats(1.0, 20.0),
+        rhs=st.floats(2.0, 30.0),
+        fixed=st.floats(0.0, 5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_presolve_preserves_optimum(self, ub, rhs, fixed):
+        model = Model("p")
+        x = model.add_var("x", ub=ub)
+        y = model.add_var("y", ub=ub)
+        z = model.add_var("z", lb=fixed, ub=fixed)
+        model.add_constr(x + y + z <= rhs, "cap")
+        model.maximize(2 * x + y)
+        direct = model.solve(backend="scipy")
+        result = presolve(model.compile())
+        if result.infeasible:
+            assert not direct.status.has_solution
+            return
+        from repro.lp import scipy_backend
+
+        reduced = scipy_backend.solve(result.reduced)
+        assert reduced.status.has_solution == direct.status.has_solution
+        if reduced.status.has_solution:
+            # Reduced objective + offset equals the direct optimum
+            # (both are minimizations of the negated objective).
+            reduced_obj = reduced.objective
+            assert reduced_obj == pytest.approx(direct.objective, rel=1e-6, abs=1e-6)
+
+    def test_planner_model_shrinks(self):
+        # A real planner model must lose a meaningful fraction of its
+        # rows/columns to presolve (state pins many variables).
+        from repro.cloud import public_cloud
+        from repro.core import (
+            Goal,
+            NetworkConditions,
+            PlannerJob,
+            PlanningProblem,
+            build_model,
+        )
+
+        problem = PlanningProblem(
+            job=PlannerJob(input_gb=16.0),
+            services=public_cloud(),
+            network=NetworkConditions.from_mbit_s(16.0),
+            goal=Goal.min_cost(deadline_hours=6.0),
+        )
+        compiled = build_model(problem).model.compile()
+        result = presolve(compiled)
+        assert not result.infeasible
+        assert result.reduced.num_vars < compiled.num_vars
+        assert len(result.reduced.rows) < len(compiled.rows)

@@ -1,0 +1,186 @@
+"""Cross-validation of the scipy/HiGHS backend against the pure-Python
+simplex + branch & bound, plus property-based agreement tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp import Model, SolveStatus, VarType
+from repro.lp.simplex import LpStatus, solve_standard_form
+
+
+def both_backends(model):
+    return model.solve(backend="scipy"), model.solve(backend="simplex")
+
+
+class TestAgreementHandPicked:
+    def test_degenerate_lp(self):
+        m = Model()
+        x = m.add_var("x", ub=1)
+        y = m.add_var("y", ub=1)
+        m.add_constr(x + y <= 1)
+        m.add_constr(x + y >= 1)
+        m.maximize(x)
+        a, b = both_backends(m)
+        assert a.objective == pytest.approx(b.objective)
+
+    def test_equality_constraints(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        m.add_constr(x + y == 10)
+        m.add_constr(x - y == 2)
+        m.minimize(x + 2 * y)
+        a, b = both_backends(m)
+        assert a.value(x) == pytest.approx(6.0)
+        assert b.value(x) == pytest.approx(6.0)
+
+    def test_negative_lower_bounds(self):
+        m = Model()
+        x = m.add_var("x", lb=-5, ub=5)
+        m.add_constr(x >= -3)
+        m.minimize(x)
+        a, b = both_backends(m)
+        assert a.value(x) == pytest.approx(-3.0)
+        assert b.value(x) == pytest.approx(-3.0)
+
+    def test_knapsack_milp(self):
+        weights = [2, 3, 4, 5, 9]
+        values = [3, 4, 5, 8, 10]
+        m = Model()
+        xs = m.add_vars("x", len(weights), ub=1, vtype=VarType.INTEGER)
+        m.add_constr(sum(w * x for w, x in zip(weights, xs)) <= 10)
+        m.maximize(sum(v * x for v, x in zip(values, xs)))
+        a, b = both_backends(m)
+        # Optimum: items with weights 2+3+5 (values 3+4+8 = 15).
+        assert a.objective == pytest.approx(15.0)
+        assert b.objective == pytest.approx(15.0)
+
+    def test_integer_infeasible(self):
+        m = Model()
+        x = m.add_var("x", vtype=VarType.INTEGER)
+        m.add_constr(2 * x == 3)  # no integer solution
+        a, b = both_backends(m)
+        assert a.status is SolveStatus.INFEASIBLE
+        assert b.status is SolveStatus.INFEASIBLE
+
+    def test_mixed_integer_continuous(self):
+        m = Model()
+        n = m.add_var("n", ub=10, vtype=VarType.INTEGER)
+        f = m.add_var("f", ub=3.5)
+        m.add_constr(n + f >= 4.2)
+        m.minimize(2 * n + f)
+        a, b = both_backends(m)
+        assert a.objective == pytest.approx(b.objective, abs=1e-6)
+
+
+class TestSimplexStandardForm:
+    def test_simple_equality(self):
+        # min -x - y st x + y = 1, x,y >= 0 -> objective -1
+        result = solve_standard_form(
+            np.array([-1.0, -1.0]), np.array([[1.0, 1.0]]), np.array([1.0])
+        )
+        assert result.status is LpStatus.OPTIMAL
+        assert result.objective == pytest.approx(-1.0)
+
+    def test_infeasible_standard_form(self):
+        # x1 = -1 with x >= 0 is infeasible (negative rhs flips, then
+        # phase 1 cannot reach zero because -x1 = 1 has no solution).
+        result = solve_standard_form(
+            np.array([1.0]), np.array([[-1.0]]), np.array([1.0])
+        )
+        assert result.status is LpStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        # min -x st x - s = 0 (s slack-ish unconstrained growth)
+        result = solve_standard_form(
+            np.array([-1.0, 0.0]), np.array([[1.0, -1.0]]), np.array([0.0])
+        )
+        assert result.status is LpStatus.UNBOUNDED
+
+    def test_redundant_rows_handled(self):
+        result = solve_standard_form(
+            np.array([1.0, 1.0]),
+            np.array([[1.0, 1.0], [2.0, 2.0]]),
+            np.array([1.0, 2.0]),
+        )
+        assert result.status is LpStatus.OPTIMAL
+        assert result.objective == pytest.approx(1.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_standard_form(np.zeros(2), np.zeros((1, 3)), np.zeros(1))
+
+
+@st.composite
+def random_lp(draw):
+    """A random bounded-feasible LP: bounded box + <= constraints with
+    non-negative coefficients (always feasible at the origin)."""
+    num_vars = draw(st.integers(1, 4))
+    num_cons = draw(st.integers(0, 4))
+    coefs = draw(
+        st.lists(
+            st.lists(st.integers(0, 5), min_size=num_vars, max_size=num_vars),
+            min_size=num_cons,
+            max_size=num_cons,
+        )
+    )
+    rhs = draw(st.lists(st.integers(0, 20), min_size=num_cons, max_size=num_cons))
+    objective = draw(
+        st.lists(st.integers(-5, 5), min_size=num_vars, max_size=num_vars)
+    )
+    ubs = draw(st.lists(st.integers(1, 8), min_size=num_vars, max_size=num_vars))
+    return coefs, rhs, objective, ubs
+
+
+class TestAgreementProperty:
+    @given(random_lp())
+    @settings(max_examples=60, deadline=None)
+    def test_backends_agree_on_random_lps(self, problem):
+        coefs, rhs, objective, ubs = problem
+        m = Model()
+        xs = [m.add_var(f"x{i}", ub=ub) for i, ub in enumerate(ubs)]
+        for row, b in zip(coefs, rhs):
+            m.add_constr(sum(c * x for c, x in zip(row, xs)) <= b)
+        m.maximize(sum(c * x for c, x in zip(objective, xs)))
+        a = m.solve(backend="scipy")
+        b = m.solve(backend="simplex")
+        assert a.status is SolveStatus.OPTIMAL
+        assert b.status is SolveStatus.OPTIMAL
+        assert a.objective == pytest.approx(b.objective, abs=1e-6)
+
+    @given(random_lp())
+    @settings(max_examples=40, deadline=None)
+    def test_solutions_satisfy_their_model(self, problem):
+        coefs, rhs, objective, ubs = problem
+        m = Model()
+        xs = [m.add_var(f"x{i}", ub=ub, vtype=VarType.INTEGER) for i, ub in enumerate(ubs)]
+        for row, b in zip(coefs, rhs):
+            m.add_constr(sum(c * x for c, x in zip(row, xs)) <= b)
+        m.maximize(sum(c * x for c, x in zip(objective, xs)))
+        solution = m.solve()
+        assert solution.status is SolveStatus.OPTIMAL
+        assert m.check_feasible(solution.values) == []
+
+    @given(random_lp())
+    @settings(max_examples=30, deadline=None)
+    def test_integer_optimum_never_beats_relaxation(self, problem):
+        coefs, rhs, objective, ubs = problem
+        relaxed = Model()
+        integral = Model()
+        xs_r = [relaxed.add_var(f"x{i}", ub=ub) for i, ub in enumerate(ubs)]
+        xs_i = [
+            integral.add_var(f"x{i}", ub=ub, vtype=VarType.INTEGER)
+            for i, ub in enumerate(ubs)
+        ]
+        for row, b in zip(coefs, rhs):
+            relaxed.add_constr(sum(c * x for c, x in zip(row, xs_r)) <= b)
+            integral.add_constr(sum(c * x for c, x in zip(row, xs_i)) <= b)
+        relaxed.maximize(sum(c * x for c, x in zip(objective, xs_r)))
+        integral.maximize(sum(c * x for c, x in zip(objective, xs_i)))
+        upper = relaxed.solve().objective
+        achieved = integral.solve().objective
+        assert achieved <= upper + 1e-6

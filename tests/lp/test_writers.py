@@ -1,0 +1,158 @@
+"""Tests for the LP/MPS model writers."""
+
+import pytest
+
+from repro.lp import Model, VarType
+from repro.lp.writers import save, write_lp, write_mps
+
+
+def toy_model():
+    model = Model("toy")
+    x = model.add_var("x", ub=4.0)
+    y = model.add_var("y", ub=4.0, vtype=VarType.INTEGER)
+    b = model.add_var("b", vtype=VarType.BINARY)
+    model.add_constr(x + 2 * y <= 6.0, "cap")
+    model.add_constr(x - y >= -1.0, "gap")
+    model.add_constr(x + b == 2.0, "link")
+    model.maximize(3 * x + 2 * y + b)
+    return model
+
+
+class TestLpFormat:
+    def test_sections_present(self):
+        text = write_lp(toy_model())
+        for section in ("Maximize", "Subject To", "Bounds", "Generals",
+                        "Binaries", "End"):
+            assert section in text
+
+    def test_constraints_rendered_with_rhs(self):
+        text = write_lp(toy_model())
+        assert "cap: x + 2 y <= 6" in text
+        assert "gap: x - y >= -1" in text
+        assert "link: x + b = 2" in text
+
+    def test_minimize_section(self):
+        model = Model("m")
+        x = model.add_var("x", ub=1.0)
+        model.minimize(x)
+        assert "Minimize" in write_lp(model)
+
+    def test_default_bounds_omitted(self):
+        model = Model("m")
+        model.add_var("free_up", lb=0.0)  # the LP default
+        model.add_var("capped", ub=9.0)
+        model.minimize(0)
+        text = write_lp(model)
+        assert "free_up" not in text.split("Bounds")[1]
+        assert "capped <= 9" in text.split("Bounds")[1]
+
+    def test_semicontinuous_section(self):
+        model = Model("m")
+        model.add_var("s", ub=10.0, vtype=VarType.SEMI_CONTINUOUS, sc_lb=2.0)
+        model.minimize(0)
+        text = write_lp(model)
+        assert "Semi-Continuous" in text
+        assert "2 <= s <= 10" in text
+
+    def test_bad_names_sanitized(self):
+        model = Model("m")
+        model.add_var("weird name!", ub=1.0)
+        model.minimize(0)
+        text = write_lp(model)
+        assert "weird name!" not in text
+        assert "weird_name_" in text
+
+    def test_deterministic(self):
+        assert write_lp(toy_model()) == write_lp(toy_model())
+
+    def test_objective_constant_encoded(self):
+        model = Model("m")
+        x = model.add_var("x", ub=1.0)
+        model.minimize(x + 5.0)
+        text = write_lp(model)
+        assert "__const" in text
+        assert "__fix_const: __const = 1" in text
+
+
+class TestMpsFormat:
+    def test_sections_present(self):
+        text = write_mps(toy_model())
+        for section in ("NAME", "ROWS", "COLUMNS", "RHS", "BOUNDS", "ENDATA"):
+            assert section in text
+
+    def test_objsense_for_maximization(self):
+        assert "OBJSENSE" in write_mps(toy_model())
+        model = Model("m")
+        model.add_var("x", ub=1.0)
+        model.minimize(0)
+        assert "OBJSENSE" not in write_mps(model)
+
+    def test_row_types(self):
+        text = write_mps(toy_model())
+        assert " L  cap" in text
+        assert " G  gap" in text
+        assert " E  link" in text
+
+    def test_integer_markers_balanced(self):
+        text = write_mps(toy_model())
+        assert text.count("'INTORG'") == text.count("'INTEND'")
+        assert text.count("'INTORG'") >= 1
+
+    def test_binary_bound(self):
+        text = write_mps(toy_model())
+        assert " BV BND  b" in text
+
+    def test_semicontinuous_bound(self):
+        model = Model("m")
+        model.add_var("s", ub=10.0, vtype=VarType.SEMI_CONTINUOUS, sc_lb=2.0)
+        model.minimize(0)
+        text = write_mps(model)
+        assert " SC BND  s  10" in text
+        assert " LO BND  s  2" in text
+
+    def test_fixed_bound(self):
+        model = Model("m")
+        model.add_var("f", lb=3.0, ub=3.0)
+        model.minimize(0)
+        assert " FX BND  f  3" in write_mps(model)
+
+    def test_deterministic(self):
+        assert write_mps(toy_model()) == write_mps(toy_model())
+
+
+class TestSave:
+    def test_save_lp_and_mps(self, tmp_path):
+        model = toy_model()
+        lp_path = tmp_path / "model.lp"
+        mps_path = tmp_path / "model.mps"
+        save(model, str(lp_path))
+        save(model, str(mps_path))
+        assert lp_path.read_text().startswith("\\ Problem: toy")
+        assert mps_path.read_text().startswith("NAME")
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="extension"):
+            save(toy_model(), str(tmp_path / "model.txt"))
+
+    def test_planner_model_exports(self, tmp_path):
+        # The real Section-4 model must export without errors and carry
+        # its semi-continuous phase barrier in the LP file.
+        from repro.cloud import public_cloud
+        from repro.core import (
+            Goal,
+            NetworkConditions,
+            PlannerJob,
+            PlanningProblem,
+            build_model,
+        )
+
+        problem = PlanningProblem(
+            job=PlannerJob(input_gb=8.0),
+            services=public_cloud(),
+            network=NetworkConditions.from_mbit_s(16.0),
+            goal=Goal.min_cost(deadline_hours=6.0),
+        )
+        model = build_model(problem).model
+        text = write_lp(model)
+        assert "Subject To" in text
+        save(model, str(tmp_path / "conductor.mps"))

@@ -1,0 +1,212 @@
+"""Unit tests for logical plan assembly, validation and size estimation."""
+
+import pytest
+
+from repro.pig import (
+    Filter,
+    LogicalPlan,
+    PigType,
+    PlanError,
+    parse,
+    parse_expression,
+)
+from repro.pig.operators import Load, Store
+from repro.pig.schema import Schema
+
+
+def simple_plan():
+    return parse(
+        "a = LOAD 'in' AS (x:int, s:chararray);\n"
+        "b = FILTER a BY x > 1;\n"
+        "STORE b INTO 'out';"
+    )
+
+
+class TestPlanAssembly:
+    def test_duplicate_alias_rejected(self):
+        plan = LogicalPlan()
+        plan.add(Load("a", "in", Schema.of("x:int")))
+        with pytest.raises(PlanError, match="already defined"):
+            plan.add(Load("a", "in2", Schema.of("x:int")))
+
+    def test_undefined_input_rejected(self):
+        plan = LogicalPlan()
+        with pytest.raises(PlanError, match="undefined alias"):
+            plan.add(Filter("b", "missing", parse_expression("x > 1")))
+
+    def test_getitem_unknown_alias(self):
+        plan = simple_plan()
+        with pytest.raises(PlanError, match="unknown alias"):
+            plan["zz"]
+
+    def test_aliases_in_definition_order(self):
+        plan = simple_plan()
+        assert plan.aliases == ["a", "b", "__store1"]
+
+    def test_consumers(self):
+        plan = simple_plan()
+        assert [op.alias for op in plan.consumers("a")] == ["b"]
+
+    def test_loads_and_stores(self):
+        plan = simple_plan()
+        assert [ld.path for ld in plan.loads] == ["in"]
+        assert [st.path for st in plan.stores] == ["out"]
+
+
+class TestValidation:
+    def test_valid_plan_passes(self):
+        simple_plan().validate()
+
+    def test_no_store_rejected(self):
+        plan = parse("a = LOAD 'in' AS (x:int);")
+        with pytest.raises(PlanError, match="no STORE"):
+            plan.validate()
+
+    def test_dead_dataflow_rejected(self):
+        plan = parse(
+            "a = LOAD 'in' AS (x:int);\n"
+            "dead = FILTER a BY x > 1;\n"
+            "STORE a INTO 'out';"
+        )
+        with pytest.raises(PlanError, match="dead"):
+            plan.validate()
+
+    def test_type_error_surfaces_in_schemas(self):
+        plan = parse(
+            "a = LOAD 'in' AS (s:chararray);\n"
+            "b = FOREACH a GENERATE s * 2;\n"
+            "STORE b INTO 'out';"
+        )
+        with pytest.raises(PlanError, match="non-numeric"):
+            plan.validate()
+
+
+class TestSchemaPropagation:
+    def test_group_output_schema(self):
+        plan = parse(
+            "a = LOAD 'in' AS (x:int, s:chararray);\n"
+            "g = GROUP a BY s;\n"
+            "STORE g INTO 'out';"
+        )
+        schemas = plan.schemas()
+        group_schema = schemas["g"]
+        assert group_schema.names == ("group", "a")
+        assert group_schema.field("group").type is PigType.CHARARRAY
+        assert group_schema.field("a").type is PigType.BAG
+        assert group_schema.field("a").element.names == ("x", "s")
+
+    def test_join_output_prefixed(self):
+        plan = parse(
+            "a = LOAD 'a' AS (x:int);\n"
+            "b = LOAD 'b' AS (y:int);\n"
+            "j = JOIN a BY x, b BY y;\n"
+            "STORE j INTO 'out';"
+        )
+        assert plan.schemas()["j"].names == ("a::x", "b::y")
+
+    def test_foreach_auto_names_dedupe(self):
+        plan = parse(
+            "a = LOAD 'in' AS (x:int);\n"
+            "b = FOREACH a GENERATE x, x, x + 1;\n"
+            "STORE b INTO 'out';"
+        )
+        names = plan.schemas()["b"].names
+        assert len(set(names)) == 3
+        assert names[0] == "x"
+
+    def test_flatten_expands_bag_schema(self):
+        plan = parse(
+            "a = LOAD 'in' AS (x:int, s:chararray);\n"
+            "g = GROUP a BY s;\n"
+            "f = FOREACH g GENERATE group, FLATTEN(a);\n"
+            "STORE f INTO 'out';"
+        )
+        assert plan.schemas()["f"].names == ("group", "x", "s")
+
+    def test_union_arity_mismatch(self):
+        plan = parse(
+            "a = LOAD 'a' AS (x:int);\n"
+            "b = LOAD 'b' AS (x:int, y:int);\n"
+            "u = UNION a, b;\n"
+            "STORE u INTO 'out';"
+        )
+        with pytest.raises(PlanError, match="arities differ"):
+            plan.validate()
+
+    def test_union_type_mismatch(self):
+        plan = parse(
+            "a = LOAD 'a' AS (x:int);\n"
+            "b = LOAD 'b' AS (x:chararray);\n"
+            "u = UNION a, b;\n"
+            "STORE u INTO 'out';"
+        )
+        with pytest.raises(PlanError, match="left but"):
+            plan.validate()
+
+
+class TestSizeEstimation:
+    def test_load_size_from_path_key(self):
+        plan = simple_plan()
+        estimates = plan.estimate_sizes({"in": 10.0})
+        assert estimates["a"].total_gb == pytest.approx(10.0)
+
+    def test_load_size_from_alias_key(self):
+        plan = simple_plan()
+        estimates = plan.estimate_sizes({"a": 10.0})
+        assert estimates["a"].total_gb == pytest.approx(10.0)
+
+    def test_missing_input_size_raises(self):
+        plan = simple_plan()
+        with pytest.raises(PlanError, match="no input size"):
+            plan.estimate_sizes({})
+
+    def test_filter_shrinks(self):
+        plan = simple_plan()
+        estimates = plan.estimate_sizes({"in": 10.0})
+        assert estimates["b"].total_gb < estimates["a"].total_gb
+
+    def test_filter_hint_overrides_heuristic(self):
+        plan = LogicalPlan()
+        plan.add(Load("a", "in", Schema.of("x:int")))
+        plan.add(
+            Filter("b", "a", parse_expression("x > 1"), selectivity_hint=0.05)
+        )
+        plan.add(Store("__s", "b", "out"))
+        estimates = plan.estimate_sizes({"in": 10.0})
+        assert estimates["b"].rows == pytest.approx(estimates["a"].rows * 0.05)
+
+    def test_group_keeps_bytes_but_shrinks_rows(self):
+        plan = parse(
+            "a = LOAD 'in' AS (x:int, s:chararray);\n"
+            "g = GROUP a BY s;\n"
+            "STORE g INTO 'out';"
+        )
+        estimates = plan.estimate_sizes({"in": 10.0})
+        assert estimates["g"].rows < estimates["a"].rows
+        # Bags retain the input bytes (plus keys): total size stays close.
+        assert estimates["g"].total_gb == pytest.approx(10.0, rel=0.25)
+
+    def test_aggregation_collapses_bytes(self):
+        plan = parse(
+            "a = LOAD 'in' AS (x:int, s:chararray);\n"
+            "g = GROUP a BY s;\n"
+            "c = FOREACH g GENERATE group, COUNT(a) AS n;\n"
+            "STORE c INTO 'out';"
+        )
+        estimates = plan.estimate_sizes({"in": 10.0})
+        assert estimates["c"].total_gb < 0.2 * estimates["a"].total_gb
+
+    def test_join_width_is_sum_of_inputs(self):
+        plan = parse(
+            "a = LOAD 'a' AS (x:int, p:int);\n"
+            "b = LOAD 'b' AS (y:int, q:int, r:int);\n"
+            "j = JOIN a BY x, b BY y;\n"
+            "STORE j INTO 'out';"
+        )
+        estimates = plan.estimate_sizes({"a": 1.0, "b": 1.0})
+        assert estimates["j"].bytes_per_row == pytest.approx(
+            estimates["a"].bytes_per_row + estimates["b"].bytes_per_row
+        )
+
+    def test_describe_renders(self):
+        assert "LOAD" in simple_plan().describe()

@@ -1,0 +1,115 @@
+"""Randomized end-to-end compiler equivalence.
+
+Hypothesis builds random (but well-typed) Pig scripts — a LOAD followed
+by a random chain of operators and a STORE — plus random input rows,
+and asserts the compiler's staged map/shuffle/reduce execution matches
+direct logical interpretation.  This is the strongest statement the
+test suite makes about the compiler: no hand-picked plan shapes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pig import (
+    canonical,
+    compile_plan,
+    evaluate_logical,
+    parse,
+    run_pipeline_local,
+)
+
+# Each step appends one statement reading the previous alias.  The
+# post-GROUP FOREACH immediately re-flattens to (k, v) so every step
+# sees the same two-column schema and steps compose freely.
+STEPS = {
+    "filter_pos": "{out} = FILTER {src} BY v >= 0;",
+    "filter_key": "{out} = FILTER {src} BY k != 'b';",
+    "project": "{out} = FOREACH {src} GENERATE k, v + 1 AS v;",
+    "scale": "{out} = FOREACH {src} GENERATE k, v * 2 AS v;",
+    "group_count": (
+        "{out}g = GROUP {src} BY k;\n"
+        "{out} = FOREACH {out}g GENERATE group AS k, COUNT({src}) AS v;"
+    ),
+    "group_sum": (
+        "{out}g = GROUP {src} BY k;\n"
+        "{out} = FOREACH {out}g GENERATE group AS k, SUM({src}.v) AS v;"
+    ),
+    "distinct": "{out} = DISTINCT {src};",
+    "order": "{out} = ORDER {src} BY v;",
+    "limit": "{out} = LIMIT {src} 3;",
+}
+
+step_names = st.lists(
+    st.sampled_from(sorted(STEPS)), min_size=1, max_size=5
+)
+
+rows = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c"]),
+        st.one_of(st.integers(-50, 50), st.none()),
+    ),
+    max_size=25,
+)
+
+
+def build_script(names: list[str]) -> str:
+    lines = ["r0 = LOAD 'in' AS (k:chararray, v:int);"]
+    src = "r0"
+    for index, name in enumerate(names, start=1):
+        out = f"r{index}"
+        lines.append(STEPS[name].format(src=src, out=out))
+        src = out
+    lines.append(f"STORE {src} INTO 'out';")
+    return "\n".join(lines)
+
+
+class TestRandomPipelines:
+    @given(names=step_names, data=rows)
+    @settings(max_examples=120, deadline=None)
+    def test_staged_equals_direct(self, names, data):
+        script = build_script(names)
+        plan = parse(script)
+        pipeline = compile_plan(plan)
+        direct = evaluate_logical(plan, {"in": data})
+        staged = run_pipeline_local(pipeline, {"in": data})
+        assert canonical(direct["out"]) == canonical(staged["out"]), script
+
+    @given(names=step_names)
+    @settings(max_examples=60, deadline=None)
+    def test_stage_count_matches_blocking_ops(self, names):
+        # Consecutive blocking operators need separate shuffles; chains
+        # of non-blocking ops fold into existing stages.  Stage count
+        # therefore lies between 1 and blocking-op count + 1.
+        script = build_script(names)
+        pipeline = compile_plan(parse(script))
+        blocking = sum(
+            1
+            for name in names
+            if name in ("group_count", "group_sum", "distinct", "order")
+        )
+        assert 1 <= len(pipeline.stages) <= blocking + 1 + len(names)
+        assert pipeline.depth <= len(pipeline.stages)
+
+    @given(names=step_names, data=rows)
+    @settings(max_examples=60, deadline=None)
+    def test_size_estimates_positive(self, names, data):
+        script = build_script(names)
+        pipeline = compile_plan(parse(script))
+        sizes = pipeline.estimate_stage_sizes({"in": 4.0})
+        assert len(sizes) == len(pipeline.stages)
+        for stage_sizes in sizes:
+            assert stage_sizes.input_gb >= 0.0
+            assert stage_sizes.shuffle_gb >= 0.0
+            assert stage_sizes.output_gb >= 0.0
+
+    @given(names=step_names)
+    @settings(max_examples=40, deadline=None)
+    def test_planner_jobs_always_valid(self, names):
+        script = build_script(names)
+        pipeline = compile_plan(parse(script))
+        jobs = pipeline.to_planner_jobs({"in": 4.0})
+        assert len(jobs) == len(pipeline.stages)
+        for job in jobs:
+            assert job.input_gb > 0
+            assert job.map_output_ratio > 0
+            assert job.reduce_output_ratio > 0

@@ -1,0 +1,139 @@
+"""Tests for storage failure injection."""
+
+import pytest
+
+from repro.sim.clock import Simulation
+from repro.storage import (
+    Block,
+    BlockId,
+    FailureInjector,
+    LocationRecord,
+    Namenode,
+    unavailable_files,
+)
+
+
+@pytest.fixture
+def namenode():
+    node = Namenode()
+    for index in range(4):
+        block_id = BlockId("data", index)
+        node.register(Block(block_id, size_mb=64.0))
+        node.add_location(block_id, LocationRecord("local-disk", f"n{index % 2}"))
+        node.add_location(block_id, LocationRecord("s3"))
+    return node
+
+
+@pytest.fixture
+def injector(namenode):
+    return FailureInjector(namenode)
+
+
+class TestImperativeInjection:
+    def test_lose_block_removes_all_replicas(self, namenode, injector):
+        target = BlockId("data", 0)
+        event = injector.lose_block(target, hour=1.5)
+        assert namenode.locations(target) == []
+        assert event.kind == "block-loss"
+        assert event.blocks_lost == (target,)
+        assert event.hour == 1.5
+
+    def test_lose_replica_keeps_block_if_others_remain(self, namenode, injector):
+        target = BlockId("data", 1)
+        event = injector.lose_replica(target, "local-disk", "n1")
+        assert len(namenode.locations(target)) == 1
+        assert event.blocks_lost == ()
+
+    def test_lose_last_replica_reports_block_lost(self, namenode, injector):
+        target = BlockId("data", 1)
+        injector.lose_replica(target, "local-disk", "n1")
+        event = injector.lose_replica(target, "s3")
+        assert event.blocks_lost == (target,)
+
+    def test_fail_node_drops_everything_it_held(self, namenode, injector):
+        event = injector.fail_node("local-disk", "n0")
+        # Blocks 0 and 2 lived on n0 but still have the s3 replica.
+        assert event.blocks_lost == ()
+        assert all(
+            record.node != "n0"
+            for block_id in namenode.blocks()
+            for record in namenode.locations(block_id)
+        )
+
+    def test_fail_node_after_s3_loss_kills_blocks(self, namenode, injector):
+        for index in (0, 2):
+            injector.lose_replica(BlockId("data", index), "s3")
+        event = injector.fail_node("local-disk", "n0")
+        assert set(event.blocks_lost) == {BlockId("data", 0), BlockId("data", 2)}
+        assert unavailable_files(namenode) == {"data"}
+
+    def test_log_accumulates(self, injector):
+        injector.lose_block(BlockId("data", 0))
+        injector.fail_node("local-disk", "n1")
+        assert [e.kind for e in injector.log] == ["block-loss", "node-crash"]
+
+    def test_listener_fires(self, injector):
+        seen = []
+        injector.on_failure(seen.append)
+        injector.lose_block(BlockId("data", 3))
+        assert len(seen) == 1
+        assert seen[0].kind == "block-loss"
+
+
+class TestScheduledInjection:
+    def test_scheduled_node_failure_fires_at_time(self, namenode, injector):
+        sim = Simulation()
+        injector.schedule_node_failure(sim, 2.0, "local-disk", "n0")
+        sim.run(until=1.0)
+        assert injector.log == []
+        sim.run(until=3.0)
+        assert len(injector.log) == 1
+        assert injector.log[0].hour == pytest.approx(2.0)
+
+    def test_scheduled_block_loss(self, namenode, injector):
+        sim = Simulation()
+        target = BlockId("data", 2)
+        injector.schedule_block_loss(sim, 0.5, target)
+        sim.run_until_idle()
+        assert namenode.locations(target) == []
+
+    def test_random_losses_deterministic_under_seed(self, namenode):
+        def run(seed):
+            sim = Simulation()
+            injector = FailureInjector(namenode)
+            count = injector.arm_random_losses(
+                sim, loss_per_block_hour=0.8, horizon_hours=5.0, rng=seed
+            )
+            return count
+
+        assert run(3) == run(3)
+
+    def test_zero_rate_arms_nothing(self, namenode, injector):
+        sim = Simulation()
+        assert (
+            injector.arm_random_losses(sim, 0.0, horizon_hours=10.0, rng=1) == 0
+        )
+
+    def test_negative_rate_rejected(self, namenode, injector):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            injector.arm_random_losses(sim, -0.1, horizon_hours=10.0)
+
+    def test_backend_filter(self, namenode, injector):
+        # Restrict losses to blocks with an s3 replica; after removing
+        # s3 replicas nothing qualifies.
+        for index in range(4):
+            injector.lose_replica(BlockId("data", index), "s3")
+        sim = Simulation()
+        armed = injector.arm_random_losses(
+            sim, loss_per_block_hour=10.0, horizon_hours=100.0, rng=0,
+            backend="s3",
+        )
+        assert armed == 0
+
+    def test_high_rate_arms_everything(self, namenode, injector):
+        sim = Simulation()
+        armed = injector.arm_random_losses(
+            sim, loss_per_block_hour=50.0, horizon_hours=10.0, rng=2
+        )
+        assert armed == 4

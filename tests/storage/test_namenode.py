@@ -1,0 +1,106 @@
+"""Unit tests for the namenode directory service."""
+
+import pytest
+
+from repro.storage import Block, BlockId, LocationRecord, Namenode, StorageError
+
+
+@pytest.fixture
+def namenode():
+    nn = Namenode()
+    for i in range(4):
+        nn.register(Block(BlockId("/f", i), 64.0))
+    return nn
+
+
+REC_A = LocationRecord("local-disk", "n1")
+REC_B = LocationRecord("local-disk", "n2")
+REC_S3 = LocationRecord("s3")
+
+
+class TestDirectory:
+    def test_register_and_lookup(self, namenode):
+        block = namenode.block(BlockId("/f", 0))
+        assert block.size_mb == 64.0
+
+    def test_double_registration_rejected(self, namenode):
+        with pytest.raises(ValueError):
+            namenode.register(Block(BlockId("/f", 0), 64.0))
+
+    def test_unknown_block_raises(self, namenode):
+        with pytest.raises(StorageError):
+            namenode.block(BlockId("/nope", 0))
+        with pytest.raises(StorageError):
+            namenode.locations(BlockId("/nope", 0))
+
+    def test_exists(self, namenode):
+        assert namenode.exists(BlockId("/f", 1))
+        assert not namenode.exists(BlockId("/g", 1))
+
+
+class TestLocations:
+    def test_add_and_list(self, namenode):
+        bid = BlockId("/f", 0)
+        namenode.add_location(bid, REC_A)
+        namenode.add_location(bid, REC_S3)
+        assert namenode.locations(bid) == [REC_A, REC_S3]
+
+    def test_duplicate_location_ignored(self, namenode):
+        bid = BlockId("/f", 0)
+        namenode.add_location(bid, REC_A)
+        namenode.add_location(bid, REC_A)
+        assert namenode.replication_of(bid) == 1
+
+    def test_remove_location(self, namenode):
+        bid = BlockId("/f", 0)
+        namenode.add_location(bid, REC_A)
+        namenode.remove_location(bid, REC_A)
+        assert namenode.locations(bid) == []
+
+    def test_blocks_at_backend_and_node(self, namenode):
+        namenode.add_location(BlockId("/f", 0), REC_A)
+        namenode.add_location(BlockId("/f", 1), REC_B)
+        namenode.add_location(BlockId("/f", 2), REC_S3)
+        assert set(namenode.blocks_at("local-disk")) == {BlockId("/f", 0), BlockId("/f", 1)}
+        assert namenode.blocks_at("local-disk", "n2") == [BlockId("/f", 1)]
+        assert namenode.blocks_at("s3") == [BlockId("/f", 2)]
+
+
+class TestNodeLoss:
+    def test_drop_node_removes_locations(self, namenode):
+        for i in range(3):
+            namenode.add_location(BlockId("/f", i), REC_A)
+        namenode.add_location(BlockId("/f", 0), REC_B)
+        affected = namenode.drop_node("local-disk", "n1")
+        assert len(affected) == 3
+        # Block 0 survives on n2, blocks 1-2 are gone.
+        assert namenode.replication_of(BlockId("/f", 0)) == 1
+        # Blocks 1-2 lost their only replica; block 3 never had one.
+        assert namenode.unavailable() == [
+            BlockId("/f", 1), BlockId("/f", 2), BlockId("/f", 3),
+        ]
+
+
+class TestReplicationBookkeeping:
+    def test_under_replicated(self, namenode):
+        bid = BlockId("/f", 0)
+        namenode.add_location(bid, REC_A)
+        assert namenode.under_replicated(factor=2) == [bid]
+        namenode.add_location(bid, REC_B)
+        assert namenode.under_replicated(factor=2) == []
+
+    def test_zero_replica_blocks_not_under_replicated(self, namenode):
+        # Lost blocks are *unavailable*, not repairable by re-replication.
+        assert namenode.under_replicated(factor=3) == []
+        assert len(namenode.unavailable()) == 4
+
+
+class TestPriorities:
+    def test_priority_ordering(self, namenode):
+        ids = [BlockId("/f", i) for i in range(3)]
+        namenode.set_priority(ids[2], 10)
+        namenode.set_priority(ids[0], 5)
+        assert namenode.by_priority(ids) == [ids[2], ids[0], ids[1]]
+
+    def test_default_priority_zero(self, namenode):
+        assert namenode.priority_of(BlockId("/f", 0)) == 0

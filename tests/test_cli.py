@@ -1,0 +1,156 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPlan:
+    def test_plan_prints_cost(self, capsys):
+        assert main(["plan", "--input-gb", "8", "--deadline", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted cost" in out
+        assert "$" in out
+
+    def test_plan_hybrid(self, capsys):
+        assert main(
+            ["plan", "--input-gb", "8", "--deadline", "6", "--local-nodes", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "predicted cost" in out
+
+    def test_infeasible_plan_fails_cleanly(self, capsys):
+        assert main(["plan", "--input-gb", "64", "--deadline", "2"]) == 1
+        assert "planning failed" in capsys.readouterr().err
+
+    def test_plan_from_xml_catalog(self, tmp_path, capsys):
+        from repro.cloud import public_cloud, save_services
+
+        path = tmp_path / "services.xml"
+        save_services(public_cloud(), str(path))
+        assert main(
+            ["plan", "--input-gb", "8", "--deadline", "3",
+             "--services-xml", str(path)]
+        ) == 0
+
+
+class TestDeploy:
+    def test_deploy_conductor(self, capsys):
+        assert main(
+            ["deploy", "--strategy", "conductor", "--input-gb", "4",
+             "--deadline", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Conductor" in out
+
+    def test_deploy_baseline(self, capsys):
+        assert main(
+            ["deploy", "--strategy", "hadoop-direct", "--input-gb", "4",
+             "--deadline", "2", "--nodes", "8"]
+        ) == 0
+        assert "Hadoop direct" in capsys.readouterr().out
+
+
+class TestServices:
+    def test_emit(self, capsys):
+        assert main(["services", "--emit"]) == 0
+        assert "<resources>" in capsys.readouterr().out
+
+    def test_validate_good(self, tmp_path, capsys):
+        from repro.cloud import public_cloud, save_services
+
+        path = tmp_path / "ok.xml"
+        save_services(public_cloud(), str(path))
+        assert main(["services", "--validate", str(path)]) == 0
+        assert "ok: 3 services" in capsys.readouterr().out
+
+    def test_validate_bad(self, tmp_path, capsys):
+        path = tmp_path / "bad.xml"
+        path.write_text("<resources><resource/></resources>")
+        assert main(["services", "--validate", str(path)]) == 1
+
+    def test_no_action_is_usage_error(self, capsys):
+        assert main(["services"]) == 2
+
+
+class TestSpot:
+    def test_spot_scenario_runs(self, capsys):
+        assert main(
+            ["spot", "--trace", "aws", "--predictor", "p0", "--days", "3",
+             "--input-gb", "8", "--deadline", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "average $" in out
+
+    def test_unknown_predictor(self, capsys):
+        assert main(["spot", "--predictor", "oracle"]) == 2
+
+
+PIG_SCRIPT = (
+    "a = LOAD 'clicks' AS (url:chararray, site:chararray, ms:int);\n"
+    "g = GROUP a BY site;\n"
+    "c = FOREACH g GENERATE group, COUNT(a) AS hits;\n"
+    "STORE c INTO 'out';\n"
+)
+
+
+class TestPig:
+    def test_compile_only(self, tmp_path, capsys):
+        path = tmp_path / "job.pig"
+        path.write_text(PIG_SCRIPT)
+        assert main(
+            ["pig", str(path), "--compile-only", "--input-gb", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stage 0" in out
+        assert "pipeline depth: 1" in out
+        assert "map_ratio" in out
+
+    def test_full_pipeline_plan(self, tmp_path, capsys):
+        path = tmp_path / "job.pig"
+        path.write_text(PIG_SCRIPT)
+        assert main(
+            ["pig", str(path), "--input-gb", "4", "--deadline", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "expected total" in out
+
+    def test_missing_script(self, capsys):
+        assert main(["pig", "/nonexistent/job.pig"]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_syntax_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.pig"
+        path.write_text("a = LOAD 'x' AS (;\n")
+        assert main(["pig", str(path)]) == 1
+        assert "compile error" in capsys.readouterr().err
+
+    def test_semantic_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "dead.pig"
+        path.write_text("a = LOAD 'x' AS (v:int);\n")  # no STORE
+        assert main(["pig", str(path)]) == 1
+        assert "compile error" in capsys.readouterr().err
+
+
+class TestExport:
+    def test_export_lp(self, tmp_path, capsys):
+        path = tmp_path / "model.lp"
+        assert main(
+            ["export", str(path), "--input-gb", "4", "--deadline", "3"]
+        ) == 0
+        text = path.read_text()
+        assert text.startswith("\\ Problem:")
+        assert "Subject To" in text
+        assert "wrote" in capsys.readouterr().out
+
+    def test_export_mps(self, tmp_path):
+        path = tmp_path / "model.mps"
+        assert main(
+            ["export", str(path), "--input-gb", "4", "--deadline", "3"]
+        ) == 0
+        assert path.read_text().startswith("NAME")
+
+    def test_bad_extension(self, tmp_path, capsys):
+        assert main(
+            ["export", str(tmp_path / "model.txt"), "--deadline", "3"]
+        ) == 2

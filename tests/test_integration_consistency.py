@@ -1,0 +1,78 @@
+"""Cross-substrate consistency: the fluid and discrete views must agree.
+
+The planner's fluid model, the controller's fluid executor, and the
+discrete-event MapReduce engine all describe the same computation; these
+tests pin down that their answers stay within engineering tolerance of
+one another — the property that makes plan-driven deployment meaningful.
+"""
+
+import pytest
+
+from repro.cloud import public_cloud
+from repro.core import (
+    DeploymentScenario,
+    Goal,
+    NetworkConditions,
+    PlannerJob,
+    plan_job,
+    run_conductor,
+    run_hadoop_direct,
+)
+from repro.core.conditions import ActualConditions
+from repro.core.controller import JobController
+
+NET = NetworkConditions.from_mbit_s(16.0)
+
+
+@pytest.fixture(scope="module")
+def small():
+    return dict(input_gb=8.0, deadline=3.0)
+
+
+class TestFluidVsDiscrete:
+    def test_controller_and_deployment_costs_agree(self, small):
+        job = PlannerJob(name="k", input_gb=small["input_gb"])
+        controller = JobController(
+            job, public_cloud(), Goal.min_cost(deadline_hours=small["deadline"]),
+            network=NET,
+        )
+        fluid = controller.run(ActualConditions.as_predicted())
+        discrete = run_conductor(
+            DeploymentScenario(
+                input_gb=small["input_gb"], deadline_hours=small["deadline"]
+            )
+        )
+        # The discrete run pays real-world overheads (boot, waves,
+        # stragglers) the fluid run does not; they must stay within ~40%.
+        assert fluid.completed and discrete.task_series[-1][1] > 0
+        assert discrete.total_cost <= fluid.total_cost * 1.4 + 0.5
+        assert discrete.total_cost >= fluid.total_cost * 0.7 - 0.5
+
+    def test_plan_predicts_deployment_runtime(self, small):
+        plan = plan_job(
+            PlannerJob(name="k", input_gb=small["input_gb"]),
+            public_cloud(),
+            Goal.min_cost(deadline_hours=small["deadline"]),
+            network=NET,
+        )
+        discrete = run_hadoop_direct(
+            DeploymentScenario(
+                input_gb=small["input_gb"], deadline_hours=small["deadline"]
+            ),
+            nodes=max(8, plan.peak_nodes()),
+        )
+        # Both are bounded below by the uplink; the discrete run may not
+        # beat the fluid bound by more than noise.
+        upload_hours = small["input_gb"] / NET.uplink_gb_per_hour
+        assert discrete.runtime_s / 3600 >= upload_hours * 0.95
+
+    def test_billing_identities(self, small):
+        """Every strategy's ledger equals its Fig. 5 breakdown sum."""
+        scenario = DeploymentScenario(
+            input_gb=small["input_gb"], deadline_hours=small["deadline"]
+        )
+        for result in (run_conductor(scenario), run_hadoop_direct(scenario, nodes=8)):
+            assert result.total_cost == pytest.approx(
+                sum(result.cost_breakdown().values()), abs=1e-9
+            )
+            assert result.total_cost == pytest.approx(result.ledger.total())

@@ -10,7 +10,13 @@ would actually run:
 - ``spot``      — evaluate spot-market deployment under a predictor;
 - ``pig``       — compile a Pig-Latin script to MapReduce stages and
   plan the multi-stage deployment;
-- ``export``    — write the generated linear program to a .lp/.mps file.
+- ``export``    — write the generated linear program to a .lp/.mps file;
+- ``serve``     — run the multi-tenant planning service over a JSON-lines
+  request stream (file or stdin);
+- ``submit``    — submit one job through the planning service (with
+  ``--repeat`` to demonstrate the plan cache);
+- ``loadgen``   — drive the service with a synthetic tenant workload and
+  report throughput, cache hit rate and latency percentiles.
 
 Examples::
 
@@ -21,6 +27,9 @@ Examples::
     python -m repro spot --trace electricity --predictor p5 --deadline 10
     python -m repro pig script.pig --input-gb 24 --deadline 10
     python -m repro export --input-gb 32 --deadline 6 model.lp
+    python -m repro serve --requests-file requests.jsonl
+    python -m repro submit --input-gb 16 --deadline 6 --repeat 3
+    python -m repro loadgen --tenants 8 --requests 64
 """
 
 from __future__ import annotations
@@ -77,6 +86,18 @@ def _services_for(args) -> list:
     if args.local_nodes > 0:
         return hybrid_cloud(local_nodes=args.local_nodes)
     return public_cloud()
+
+
+def _problem_for(args):
+    """The PlanningProblem described by the shared job arguments."""
+    from .core import PlanningProblem
+
+    return PlanningProblem(
+        job=PlannerJob(name="job", input_gb=args.input_gb),
+        services=_services_for(args),
+        network=NetworkConditions.from_mbit_s(args.uplink_mbit),
+        goal=Goal.min_cost(deadline_hours=args.deadline),
+    )
 
 
 def cmd_plan(args) -> int:
@@ -215,16 +236,14 @@ def cmd_pig(args) -> int:
 
 
 def cmd_export(args) -> int:
-    from .core import PlanningProblem, build_model
+    from .core import build_model
     from .lp import save
 
-    problem = PlanningProblem(
-        job=PlannerJob(name="job", input_gb=args.input_gb),
-        services=_services_for(args),
-        network=NetworkConditions.from_mbit_s(args.uplink_mbit),
-        goal=Goal.min_cost(deadline_hours=args.deadline),
-    )
-    built = build_model(problem)
+    try:
+        built = build_model(_problem_for(args))
+    except Exception as exc:
+        print(f"bad problem: {exc}", file=sys.stderr)
+        return 1
     try:
         save(built.model, args.path)
     except ValueError as exc:
@@ -234,6 +253,209 @@ def cmd_export(args) -> int:
     print(f"wrote {args.path}: {stats['variables']} columns, "
           f"{stats['constraints']} rows, {stats['integers']} integers")
     return 0
+
+
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pool", choices=("process", "thread", "inline"),
+                        default="process",
+                        help="solver pool mode (default: process)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="concurrent solver workers")
+    parser.add_argument("--cache-capacity", type=int, default=256,
+                        help="plan cache entries (0 disables the cache)")
+    parser.add_argument("--time-limit", type=float, default=180.0,
+                        help="solver cut-off ceiling in seconds")
+
+
+def _service_for(args):
+    from .service import PlanningService, ServiceConfig
+
+    return PlanningService(ServiceConfig(
+        max_workers=args.workers,
+        pool_mode=args.pool,
+        cache_capacity=args.cache_capacity,
+        solver_time_limit_s=args.time_limit,
+    ))
+
+
+def _result_json(result) -> str:
+    import json
+
+    payload = {
+        "request_id": result.request_id,
+        "tenant": result.tenant,
+        "status": result.status.value,
+        "cached": result.cached,
+        "queue_wait_s": round(result.queue_wait_s, 4),
+        "solve_s": round(result.solve_s, 4),
+        "total_s": round(result.total_s, 4),
+    }
+    if result.plan is not None:
+        payload["predicted_cost"] = round(result.plan.predicted_cost, 4)
+        payload["predicted_completion_hours"] = round(
+            result.plan.predicted_completion_hours, 3
+        )
+        payload["peak_nodes"] = result.plan.peak_nodes()
+    if result.error:
+        payload["error"] = result.error
+    return json.dumps(payload)
+
+
+def cmd_serve(args) -> int:
+    """Process a JSON-lines request stream through the planning service.
+
+    Each input line describes one request, e.g.::
+
+        {"tenant": "acme", "scenario": "quickstart", "input_gb": 16,
+         "deadline": 6, "priority": 1}
+
+    Results are emitted as JSON lines on stdout (submission order);
+    the metrics summary goes to stderr.
+    """
+    import json
+
+    from .service import AdmissionError, PlanRequest, problem_for_scenario
+
+    if args.requests_file:
+        try:
+            handle = open(args.requests_file, encoding="utf-8")
+        except OSError as exc:
+            print(f"cannot read requests: {exc}", file=sys.stderr)
+            return 1
+    else:
+        handle = sys.stdin
+    service = _service_for(args)
+    exit_code = 0
+    with service:
+        tickets = []
+        try:
+            for lineno, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    spec = json.loads(line)
+                    if not isinstance(spec, dict):
+                        raise ValueError("request must be a JSON object")
+                    problem = problem_for_scenario(
+                        spec.get("scenario", "quickstart"),
+                        input_gb=float(spec.get("input_gb", 16.0)),
+                        deadline_hours=float(spec.get("deadline", 6.0)),
+                        uplink_mbit=float(spec.get("uplink_mbit", 16.0)),
+                        local_nodes=int(spec.get("local_nodes", 5)),
+                        spot_price=float(spec.get("spot_price", 0.2)),
+                    )
+                    request = PlanRequest(
+                        tenant=str(spec.get("tenant", "default")),
+                        problem=problem,
+                        priority=int(spec.get("priority", 1)),
+                        deadline_s=spec.get("deadline_s"),
+                        time_budget_s=spec.get("time_budget_s"),
+                    )
+                except (ValueError, KeyError, TypeError) as exc:
+                    print(f"line {lineno}: bad request: {exc}", file=sys.stderr)
+                    exit_code = 1
+                    continue
+                try:
+                    # A batch stream applies backpressure on a full
+                    # backlog rather than dropping the tail.
+                    tickets.append(service.submit_request(request, block=True))
+                except AdmissionError as exc:
+                    # Keep stdout line-parseable: rejections get a result
+                    # record too, not just a stderr note.
+                    print(json.dumps({
+                        "line": lineno,
+                        "tenant": request.tenant,
+                        "status": "rejected",
+                        "error": str(exc),
+                    }))
+                    exit_code = 1
+        finally:
+            if handle is not sys.stdin:
+                handle.close()
+        # A ticket's turnaround includes time queued behind every other
+        # admitted request, so the wait bound covers the whole stream,
+        # not one solve.
+        stream_timeout = args.time_limit * max(1, len(tickets)) + 60.0
+        for ticket in tickets:
+            try:
+                result = ticket.result(timeout=stream_timeout)
+            except TimeoutError as exc:
+                # Keep reporting the rest: their solves may have finished.
+                print(json.dumps({
+                    "request_id": ticket.request_id,
+                    "tenant": ticket.tenant,
+                    "status": "timeout",
+                    "error": str(exc),
+                }))
+                exit_code = 1
+                continue
+            if not result.ok:
+                # A scripted caller must see failed/expired streams in the
+                # exit code, not just in the per-line status field.
+                exit_code = 1
+            print(_result_json(result))
+        print(service.metrics.describe(), file=sys.stderr)
+    return exit_code
+
+
+def cmd_submit(args) -> int:
+    try:
+        problem = _problem_for(args)
+    except Exception as exc:
+        print(f"bad problem: {exc}", file=sys.stderr)
+        return 1
+    service = _service_for(args)
+    with service:
+        results = []
+        for _ in range(max(1, args.repeat)):
+            ticket = service.submit(
+                problem, tenant=args.tenant, priority=args.priority
+            )
+            try:
+                results.append(ticket.result(timeout=args.time_limit + 60.0))
+            except TimeoutError as exc:
+                print(f"planning timed out: {exc}", file=sys.stderr)
+                return 1
+    first = results[0]
+    if not first.ok:
+        print(f"planning failed: {first.error}", file=sys.stderr)
+        return 1
+    print(first.plan.describe())
+    print(f"\npredicted cost:  ${first.plan.predicted_cost:.2f}")
+    for index, result in enumerate(results):
+        source = "cache" if result.cached else "solver"
+        print(f"request {index + 1}: {result.total_s * 1e3:8.1f} ms via {source}")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    import time as _time
+
+    from .service import generate_workload, run_workload
+
+    try:
+        requests = generate_workload(
+            tenants=args.tenants, requests=args.requests, seed=args.seed
+        )
+    except ValueError as exc:
+        print(f"bad workload: {exc}", file=sys.stderr)
+        return 2
+    service = _service_for(args)
+    with service:
+        start = _time.perf_counter()
+        results, rejected = run_workload(service, requests)
+        elapsed = _time.perf_counter() - start
+    completed = sum(1 for r in results if r.ok)
+    failed = sum(1 for r in results if r.status.value == "failed")
+    rate = len(results) / elapsed if elapsed > 0 else 0.0
+    print(f"workload:    {args.requests} requests from {args.tenants} tenants "
+          f"(seed {args.seed}, pool {args.pool} x{args.workers})")
+    print(f"throughput:  {rate:.2f} requests/s "
+          f"({elapsed:.2f} s wall, {completed} ok, {failed} failed, "
+          f"{rejected} rejected at admission)")
+    print(service.metrics.describe())
+    return 0 if completed > 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -287,6 +509,35 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("path", help="output file (.lp or .mps)")
     _add_job_arguments(export)
     export.set_defaults(handler=cmd_export)
+
+    serve = commands.add_parser(
+        "serve", help="run the planning service over a JSON-lines stream"
+    )
+    serve.add_argument("--requests-file",
+                       help="JSON-lines request file (default: stdin)")
+    _add_service_arguments(serve)
+    serve.set_defaults(handler=cmd_serve)
+
+    submit = commands.add_parser(
+        "submit", help="submit one job through the planning service"
+    )
+    _add_job_arguments(submit)
+    submit.add_argument("--services-xml", help="service catalog XML (Fig. 3 format)")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--priority", type=int, default=1)
+    submit.add_argument("--repeat", type=int, default=1,
+                        help="submit the same request N times (cache demo)")
+    _add_service_arguments(submit)
+    submit.set_defaults(handler=cmd_submit)
+
+    loadgen = commands.add_parser(
+        "loadgen", help="drive the service with a synthetic tenant workload"
+    )
+    loadgen.add_argument("--tenants", type=int, default=8)
+    loadgen.add_argument("--requests", type=int, default=64)
+    loadgen.add_argument("--seed", type=int, default=0)
+    _add_service_arguments(loadgen)
+    loadgen.set_defaults(handler=cmd_loadgen)
     return parser
 
 

@@ -22,7 +22,15 @@ Prices (US$, July 2011, us-east):
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from .services import UNLIMITED, ServiceDescription
+
+# Catalog constructors are memoized: the planning service rebuilds the
+# same instance menus for every request, and the descriptions are treated
+# as immutable everywhere (what-if sweeps go through ``.replace()``, which
+# copies).  Catalog functions return fresh *lists* over shared, cached
+# ServiceDescription objects so callers may filter/extend freely.
 
 #: The paper's measured k-means throughput on m1.large (Section 6.1).
 KMEANS_THROUGHPUT_GB_H = 0.44
@@ -43,6 +51,7 @@ TRANSFER_OUT_COST = 0.10
 CHUNK_MB = 64.0
 
 
+@lru_cache(maxsize=128)
 def ec2_m1_large(throughput: float = KMEANS_THROUGHPUT_GB_H) -> ServiceDescription:
     """EC2 m1.large: the instance type Conductor's plans actually use."""
     return ServiceDescription(
@@ -63,6 +72,7 @@ def ec2_m1_large(throughput: float = KMEANS_THROUGHPUT_GB_H) -> ServiceDescripti
     )
 
 
+@lru_cache(maxsize=128)
 def ec2_m1_xlarge() -> ServiceDescription:
     """EC2 m1.xlarge: slightly worse cost/performance than m1.large, so the
     planner never picks it in the paper's scenarios (Section 6.1)."""
@@ -82,6 +92,7 @@ def ec2_m1_xlarge() -> ServiceDescription:
     )
 
 
+@lru_cache(maxsize=128)
 def ec2_c1_xlarge() -> ServiceDescription:
     """EC2 c1.xlarge: 20 ECU on paper, far less in measured throughput —
     the Fig. 1 motivating divergence."""
@@ -101,6 +112,7 @@ def ec2_c1_xlarge() -> ServiceDescription:
     )
 
 
+@lru_cache(maxsize=128)
 def s3(cost_tstore: float = S3_COST_TSTORE) -> ServiceDescription:
     """S3: pure storage, unlimited capacity, per-request I/O prices."""
     return ServiceDescription(
@@ -118,12 +130,14 @@ def s3(cost_tstore: float = S3_COST_TSTORE) -> ServiceDescription:
     )
 
 
+@lru_cache(maxsize=128)
 def ec2_spot_m1_large(throughput: float = KMEANS_THROUGHPUT_GB_H) -> ServiceDescription:
     """m1.large allocated on the spot market (Section 4.7 / 6.5)."""
     service = ec2_m1_large(throughput)
     return service.replace(name="ec2.m1.large.spot", is_spot=True)
 
 
+@lru_cache(maxsize=128)
 def local_cluster(
     nodes: int = 5,
     throughput: float = KMEANS_THROUGHPUT_GB_H,
@@ -145,9 +159,14 @@ def local_cluster(
     )
 
 
+@lru_cache(maxsize=128)
+def _public_cloud(throughput: float) -> tuple[ServiceDescription, ...]:
+    return (ec2_m1_large(throughput), ec2_m1_xlarge(), s3())
+
+
 def public_cloud(throughput: float = KMEANS_THROUGHPUT_GB_H) -> list[ServiceDescription]:
     """The cloud-only scenario catalog (Section 6.2)."""
-    return [ec2_m1_large(throughput), ec2_m1_xlarge(), s3()]
+    return list(_public_cloud(throughput))
 
 
 def hybrid_cloud(

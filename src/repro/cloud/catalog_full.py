@@ -22,6 +22,7 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from .catalog import CHUNK_MB, KMEANS_THROUGHPUT_GB_H, TRANSFER_OUT_COST
 from .services import ServiceDescription
@@ -116,9 +117,18 @@ INSTANCE_SPECS: tuple[InstanceSpec, ...] = (
 )
 
 
+@lru_cache(maxsize=1)
+def _full_instance_catalog() -> tuple[ServiceDescription, ...]:
+    return tuple(spec.to_service() for spec in INSTANCE_SPECS)
+
+
 def full_instance_catalog() -> list[ServiceDescription]:
-    """Every 2011 EC2 instance type as a planner-ready service."""
-    return [spec.to_service() for spec in INSTANCE_SPECS]
+    """Every 2011 EC2 instance type as a planner-ready service.
+
+    Memoized: the descriptions are shared, treated-as-immutable objects
+    (sweeps copy via ``.replace()``); the returned list is fresh.
+    """
+    return list(_full_instance_catalog())
 
 
 def spec_by_name(name: str) -> InstanceSpec:

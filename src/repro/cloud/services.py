@@ -28,9 +28,13 @@ class ResourceKind(enum.Enum):
     STORAGE = "storage"
 
 
-@dataclass
+@dataclass(frozen=True)
 class ServiceDescription:
     """Price/performance description of one cloud service.
+
+    Frozen: descriptions are shared process-wide through the memoized
+    catalog constructors, so what-if sweeps must copy via
+    :meth:`replace` instead of assigning fields.
 
     All prices are US$; rates follow the planner's GB/hours convention.
 
@@ -155,6 +159,18 @@ class ServiceDescription:
     def replace(self, **changes) -> "ServiceDescription":
         """A copy with fields overridden (used for what-if sweeps)."""
         return dataclasses.replace(self, **changes)
+
+    def canonical(self) -> tuple:
+        """Stable, hashable encoding of the description.
+
+        Used by the planning service to fingerprint problems: two services
+        with equal canonical forms are interchangeable to the planner.
+        Fields are sorted by name so the encoding survives reordering.
+        """
+        return tuple(
+            (f.name, getattr(self, f.name))
+            for f in sorted(dataclasses.fields(self), key=lambda f: f.name)
+        )
 
 
 def validate_catalog(services: list[ServiceDescription]) -> None:

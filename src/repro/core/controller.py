@@ -122,8 +122,17 @@ class JobController:
 
     # -- public ------------------------------------------------------------
 
-    def run(self, actual: ActualConditions | None = None) -> ControllerResult:
-        """Deploy the job against ``actual`` conditions until completion."""
+    def run(
+        self,
+        actual: ActualConditions | None = None,
+        on_interval=None,
+    ) -> ControllerResult:
+        """Deploy the job against ``actual`` conditions until completion.
+
+        ``on_interval``, when given, is called with each
+        :class:`IntervalOutcome` as it happens — the hook the planning
+        service's session manager uses to stream deployment progress.
+        """
         actual = actual or ActualConditions.as_predicted()
         config = self.config
         deadline = float(self.goal.deadline_hours or 0.0)
@@ -145,6 +154,8 @@ class JobController:
             self._update_bids(executor, state)
             outcome = executor.execute_interval(interval, state)
             outcomes.append(outcome)
+            if on_interval is not None:
+                on_interval(outcome)
             node_series.append((outcome.start_hour, sum(outcome.nodes.values())))
             task_series.append((state.hour, self._completed_tasks(state)))
 

@@ -68,6 +68,21 @@ class PlannerJob:
     def result_gb(self) -> float:
         return self.map_output_gb * self.reduce_output_ratio
 
+    def canonical(self) -> tuple:
+        """Stable encoding for problem fingerprints.
+
+        The ``name`` field is deliberately excluded: two tenants submitting
+        the same job under different labels should share a cached plan.
+        """
+        return (
+            "PlannerJob",
+            float(self.input_gb),
+            float(self.map_output_ratio),
+            float(self.reduce_output_ratio),
+            float(self.throughput_scale),
+            float(self.reduce_speed_factor),
+        )
+
     def map_rate(self, service: ServiceDescription) -> float:
         """Per-node map-phase throughput on ``service``, GB input/hour."""
         return service.throughput_gb_per_hour * self.throughput_scale
@@ -103,6 +118,16 @@ class NetworkConditions:
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
 
+    def canonical(self) -> tuple:
+        """Stable encoding for problem fingerprints."""
+        return (
+            "NetworkConditions",
+            float(self.uplink_gb_per_hour),
+            float(self.downlink_gb_per_hour),
+            float(self.local_gb_per_hour),
+            float(self.interservice_gb_per_hour),
+        )
+
     @classmethod
     def from_mbit_s(cls, uplink_mbit_s: float, **kwargs) -> "NetworkConditions":
         """Build conditions from an uplink in Mbit/s (paper convention)."""
@@ -133,6 +158,20 @@ class SystemState:
     @classmethod
     def initial(cls, job: PlannerJob) -> "SystemState":
         return cls(source_remaining_gb=job.input_gb)
+
+    def canonical(self) -> tuple:
+        """Stable encoding for problem fingerprints (dicts are sorted)."""
+        return (
+            "SystemState",
+            float(self.hour),
+            float(self.source_remaining_gb),
+            tuple(sorted((k, float(v)) for k, v in self.stored_input.items())),
+            tuple(sorted((k, float(v)) for k, v in self.stored_output.items())),
+            tuple(sorted((k, float(v)) for k, v in self.stored_result.items())),
+            float(self.map_done_gb),
+            float(self.reduce_done_gb),
+            float(self.downloaded_gb),
+        )
 
     def validate_against(self, job: PlannerJob, tol: float = 1e-6) -> None:
         """Check conservation: every byte of input/output is somewhere.
@@ -182,6 +221,15 @@ class Goal:
     kind: GoalKind
     deadline_hours: float | None = None
     budget_usd: float | None = None
+
+    def canonical(self) -> tuple:
+        """Stable encoding for problem fingerprints."""
+        return (
+            "Goal",
+            self.kind.value,
+            None if self.deadline_hours is None else float(self.deadline_hours),
+            None if self.budget_usd is None else float(self.budget_usd),
+        )
 
     @classmethod
     def min_cost(cls, deadline_hours: float) -> "Goal":
@@ -283,6 +331,42 @@ class PlanningProblem:
     @property
     def effective_state(self) -> SystemState:
         return self.state if self.state is not None else SystemState.initial(self.job)
+
+    def canonical(self) -> tuple:
+        """Stable, hashable encoding of the whole problem.
+
+        This is the payload behind the planning service's fingerprint
+        (:mod:`repro.service.fingerprint`).  Equivalence is intentionally a
+        little wider than identity: services are sorted by name (catalog
+        order does not change the optimum), ``state=None`` encodes as the
+        initial state it stands for, and job names are ignored.  Any field
+        that changes the LP — prices, rates, deadline, goal kind, spot
+        estimates, upload fractions, flags — changes the encoding.
+        """
+        return (
+            "PlanningProblem",
+            self.job.canonical(),
+            tuple(
+                s.canonical()
+                for s in sorted(self.services, key=lambda s: s.name)
+            ),
+            self.network.canonical(),
+            self.goal.canonical(),
+            self.effective_state.canonical(),
+            float(self.interval_hours),
+            tuple(
+                sorted(
+                    (name, tuple(float(v) for v in series))
+                    for name, series in self.spot_price_estimates.items()
+                )
+            ),
+            tuple(sorted((k, float(v)) for k, v in self.upload_fractions.items())),
+            int(self.upload_read_lag),
+            bool(self.allow_migration),
+            bool(self.constant_nodes),
+            bool(self.strict_phase_gap),
+            self.local_provider,
+        )
 
     def storage_services(self) -> list[ServiceDescription]:
         return [s for s in self.services if s.can_store]

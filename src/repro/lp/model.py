@@ -112,6 +112,10 @@ class Model:
         self._objective = LinExpr()
         self._sense = ObjectiveSense.MINIMIZE
         self._names: set[str] = set()
+        #: Compiled matrix form, kept until the model is mutated so that
+        #: re-solving an unchanged model (the planning service's warm
+        #: BuiltModel path) skips the lowering pass.
+        self._compiled: CompiledModel | None = None
 
     # -- construction -----------------------------------------------------
 
@@ -129,6 +133,7 @@ class Model:
         self._names.add(name)
         var = Variable(name, len(self.variables), lb=lb, ub=ub, vtype=vtype, sc_lb=sc_lb)
         self.variables.append(var)
+        self._compiled = None
         return var
 
     def add_vars(
@@ -160,6 +165,7 @@ class Model:
         if name:
             constraint.name = name
         self.constraints.append(constraint)
+        self._compiled = None
         return constraint
 
     def add_constrs(self, constraints: Iterable[Constraint], prefix: str = "") -> None:
@@ -169,10 +175,12 @@ class Model:
     def minimize(self, expr: Union[LinExpr, Variable, Number]) -> None:
         self._objective = LinExpr.from_value(expr)
         self._sense = ObjectiveSense.MINIMIZE
+        self._compiled = None
 
     def maximize(self, expr: Union[LinExpr, Variable, Number]) -> None:
         self._objective = LinExpr.from_value(expr)
         self._sense = ObjectiveSense.MAXIMIZE
+        self._compiled = None
 
     @property
     def objective(self) -> LinExpr:
@@ -197,7 +205,12 @@ class Model:
 
         Semi-continuous variables ``x in {0} ∪ [L, U]`` are lowered with an
         auxiliary binary ``z``: ``x <= U z`` and ``x >= L z``.
+
+        The result is cached until the model is mutated (new variable or
+        constraint, objective change); backends treat it as read-only.
         """
+        if self._compiled is not None:
+            return self._compiled
         columns: list[Variable | None] = list(self.variables)
         var_lb = [v.lb for v in self.variables]
         var_ub = [v.ub for v in self.variables]
@@ -252,7 +265,7 @@ class Model:
             for var, coef in self._objective.terms.items()
             if coef != 0.0
         }
-        return CompiledModel(
+        self._compiled = CompiledModel(
             num_vars=len(columns),
             objective=objective,
             objective_offset=sign * self._objective.constant,
@@ -265,6 +278,7 @@ class Model:
             columns=columns,
             negated=negated,
         )
+        return self._compiled
 
     # -- solving ----------------------------------------------------------
 

@@ -1,0 +1,64 @@
+"""Multi-tenant planning service in front of the Conductor core.
+
+The paper frames Conductor as a *service* customers submit deployment
+problems to; this package makes the reproduction act like one:
+
+- :class:`PlanningService` — submit/solve/cache front-end
+  (:mod:`repro.service.service`);
+- :class:`RequestBroker` — per-tenant queues, admission control,
+  priority/deadline ordering (:mod:`repro.service.broker`);
+- :func:`problem_fingerprint` + :class:`LRUCache` — canonical problem
+  identity and the plan cache (:mod:`repro.service.fingerprint`,
+  :mod:`repro.service.cache`);
+- :class:`SolverPool` — bounded parallel LP solving
+  (:mod:`repro.service.pool`);
+- :class:`SessionManager` — deploy/monitor/adapt loops with streamed
+  progress (:mod:`repro.service.session`);
+- :class:`ServiceMetrics` — request counters and latency percentiles
+  (:mod:`repro.service.metrics`);
+- :func:`generate_workload` — synthetic tenant traffic
+  (:mod:`repro.service.workload`).
+"""
+
+from .broker import AdmissionError, RequestBroker
+from .cache import CacheStats, LRUCache
+from .fingerprint import canonical_payload, problem_fingerprint
+from .metrics import LatencySeries, ServiceMetrics, percentile
+from .pool import SolverPool, solve_problem
+from .requests import PlanRequest, PlanResult, RequestStatus, SubmittedRequest
+from .service import PlanningService, ServiceConfig
+from .session import DeploySession, SessionManager
+from .workload import (
+    DEFAULT_MIX,
+    SCENARIOS,
+    generate_workload,
+    problem_for_scenario,
+    run_workload,
+)
+
+__all__ = [
+    "AdmissionError",
+    "CacheStats",
+    "DEFAULT_MIX",
+    "DeploySession",
+    "LatencySeries",
+    "LRUCache",
+    "PlanRequest",
+    "PlanResult",
+    "PlanningService",
+    "RequestBroker",
+    "RequestStatus",
+    "SCENARIOS",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "SessionManager",
+    "SolverPool",
+    "SubmittedRequest",
+    "canonical_payload",
+    "generate_workload",
+    "percentile",
+    "problem_fingerprint",
+    "problem_for_scenario",
+    "run_workload",
+    "solve_problem",
+]

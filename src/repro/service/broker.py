@@ -1,0 +1,141 @@
+"""The request broker: per-tenant queues, admission control, ordering.
+
+The broker is the service's front door (the broker/scheduler/monitor
+split of the orchestration taxonomy).  Each tenant gets its own queue so
+one noisy tenant cannot starve the rest of *queue space*; admission
+control bounds both per-tenant and total backlog.  Dispatch order is
+priority first (0 = most urgent), then earliest turnaround deadline,
+then global FIFO — evaluated over the *heads* of the tenant queues, so
+within a tenant submissions with equal priority stay ordered.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import threading
+from collections import OrderedDict
+
+from .requests import SubmittedRequest
+
+
+class AdmissionError(RuntimeError):
+    """The broker refused a request (queue bounds exceeded)."""
+
+
+class RequestBroker:
+    """Bounded, priority/deadline-aware multi-tenant request queue."""
+
+    def __init__(
+        self,
+        max_pending_total: int = 256,
+        max_pending_per_tenant: int = 64,
+    ) -> None:
+        if max_pending_total <= 0 or max_pending_per_tenant <= 0:
+            raise ValueError("queue bounds must be positive")
+        self.max_pending_total = max_pending_total
+        self.max_pending_per_tenant = max_pending_per_tenant
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        #: tenant -> min-heap of (priority, deadline, seq, ticket).
+        self._queues: "OrderedDict[str, list]" = OrderedDict()
+        self._pending = 0
+        self._seq = 0
+        self._closed = False
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, ticket: SubmittedRequest) -> None:
+        """Enqueue a ticket or raise :class:`AdmissionError`."""
+        tenant = ticket.tenant
+        with self._not_empty:
+            if self._closed:
+                raise AdmissionError("broker is closed")
+            if self._pending >= self.max_pending_total:
+                raise AdmissionError(
+                    f"service backlog full ({self.max_pending_total} pending)"
+                )
+            queue = self._queues.setdefault(tenant, [])
+            if len(queue) >= self.max_pending_per_tenant:
+                raise AdmissionError(
+                    f"tenant {tenant!r} backlog full "
+                    f"({self.max_pending_per_tenant} pending)"
+                )
+            deadline = ticket.expires_at
+            key = (
+                ticket.request.priority,
+                deadline if deadline is not None else math.inf,
+                self._seq,
+            )
+            self._seq += 1
+            heapq.heappush(queue, (*key, ticket))
+            self._pending += 1
+            self._not_empty.notify()
+
+    # -- dispatch ---------------------------------------------------------
+
+    def pop(self, timeout: float | None = None) -> SubmittedRequest | None:
+        """The most urgent queued request, or ``None`` on timeout/close.
+
+        Urgency compares the head of every tenant queue by
+        ``(priority, deadline, seq)``; per-tenant order is preserved
+        because only heads compete.
+        """
+        with self._not_empty:
+            while self._pending == 0:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+            best_tenant = None
+            best_key = None
+            for tenant, queue in self._queues.items():
+                if not queue:
+                    continue
+                key = queue[0][:3]
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_tenant = tenant
+            assert best_tenant is not None
+            queue = self._queues[best_tenant]
+            *_, ticket = heapq.heappop(queue)
+            if not queue:
+                del self._queues[best_tenant]
+            self._pending -= 1
+            return ticket
+
+    def drain(self) -> list[SubmittedRequest]:
+        """Remove and return everything still queued (shutdown path)."""
+        with self._lock:
+            tickets = [
+                entry[-1] for queue in self._queues.values() for entry in queue
+            ]
+            self._queues.clear()
+            self._pending = 0
+            return tickets
+
+    def close(self) -> None:
+        """Refuse further submissions and wake blocked ``pop`` calls."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def pending_for(self, tenant: str) -> int:
+        with self._lock:
+            return len(self._queues.get(tenant, ()))
+
+    def tenants(self) -> list[str]:
+        with self._lock:
+            return [t for t, q in self._queues.items() if q]

@@ -1,0 +1,26 @@
+"""Canonical problem fingerprints.
+
+Two tenants asking Conductor the same question should pay for one solve.
+The fingerprint is a SHA-256 over the problem's canonical encoding
+(:meth:`repro.core.problem.PlanningProblem.canonical`), which is stable
+under irrelevant variation: service catalog order, dict insertion order,
+job naming, and ``state=None`` vs. an explicit initial state.  Anything
+that changes the LP — prices, rates, goal, deadline, spot estimates,
+upload fractions, model flags — changes the digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..core.problem import PlanningProblem
+
+
+def canonical_payload(problem: PlanningProblem) -> bytes:
+    """The byte string actually hashed (exposed for tests/debugging)."""
+    return repr(problem.canonical()).encode("utf-8")
+
+
+def problem_fingerprint(problem: PlanningProblem) -> str:
+    """Hex SHA-256 fingerprint of a planning problem."""
+    return hashlib.sha256(canonical_payload(problem)).hexdigest()

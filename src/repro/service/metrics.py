@@ -1,0 +1,179 @@
+"""Service-level metrics: request counters, latency distributions, cache
+effectiveness.
+
+Everything the ``loadgen`` summary and the throughput benchmark report
+comes from here.  Latencies are kept raw (the service handles thousands,
+not millions, of requests per process) so percentiles are exact.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+def percentile(values: list[float], p: float) -> float:
+    """Exact percentile (nearest-rank with linear interpolation)."""
+    return _percentile_sorted(sorted(values), p)
+
+
+def _percentile_sorted(data: list[float], p: float) -> float:
+    """Percentile over already-sorted data (lets callers sort once)."""
+    if not data:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    if len(data) == 1:
+        return data[0]
+    rank = (p / 100.0) * (len(data) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+@dataclass
+class LatencySeries:
+    """A named collection of latency samples, in seconds."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def p(self, q: float) -> float:
+        return percentile(self.samples, q)
+
+    def summary(self) -> dict[str, float]:
+        data = sorted(self.samples)
+        return {
+            "count": float(self.count),
+            "mean_s": self.mean,
+            "p50_s": _percentile_sorted(data, 50),
+            "p90_s": _percentile_sorted(data, 90),
+            "p99_s": _percentile_sorted(data, 99),
+            "max_s": data[-1] if data else 0.0,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters and latency series for one service instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.rejected = 0
+        self.expired = 0
+        self.completed = 0
+        self.failed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.coalesced = 0
+        self.queue_wait = LatencySeries()
+        self.solve_latency = LatencySeries()
+        self.turnaround = LatencySeries()
+        self.per_tenant_completed: dict[str, int] = {}
+
+    # -- recording --------------------------------------------------------
+
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_expired(self) -> None:
+        with self._lock:
+            self.expired += 1
+
+    def record_queue_wait(self, seconds: float) -> None:
+        with self._lock:
+            self.queue_wait.record(seconds)
+
+    def record_completion(
+        self,
+        tenant: str,
+        *,
+        cached: bool,
+        coalesced: bool = False,
+        solve_s: float = 0.0,
+        total_s: float = 0.0,
+    ) -> None:
+        with self._lock:
+            self.completed += 1
+            self.per_tenant_completed[tenant] = (
+                self.per_tenant_completed.get(tenant, 0) + 1
+            )
+            if cached:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+                self.solve_latency.record(solve_s)
+            if coalesced:
+                self.coalesced += 1
+            self.turnaround.record(total_s)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    # -- reporting --------------------------------------------------------
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "expired": self.expired,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "coalesced": self.coalesced,
+                "cache_hit_rate": self.cache_hit_rate,
+                "queue_wait": self.queue_wait.summary(),
+                "solve_latency": self.solve_latency.summary(),
+                "turnaround": self.turnaround.summary(),
+                "per_tenant_completed": dict(self.per_tenant_completed),
+            }
+
+    def describe(self) -> str:
+        """Human-readable summary block (the ``loadgen`` report)."""
+        snap = self.snapshot()
+        lines = [
+            f"requests:    {snap['submitted']} submitted, "
+            f"{snap['completed']} completed, {snap['failed']} failed, "
+            f"{snap['rejected']} rejected, {snap['expired']} expired",
+            f"plan cache:  {snap['cache_hits']} hits / "
+            f"{snap['cache_hits'] + snap['cache_misses']} lookups "
+            f"(hit rate {snap['cache_hit_rate']:.0%}, "
+            f"{snap['coalesced']} coalesced)",
+        ]
+        for label, key in (
+            ("queue wait", "queue_wait"),
+            ("solve", "solve_latency"),
+            ("turnaround", "turnaround"),
+        ):
+            s = snap[key]
+            lines.append(
+                f"{label + ':':12s} mean {s['mean_s'] * 1e3:7.1f} ms   "
+                f"p50 {s['p50_s'] * 1e3:7.1f} ms   "
+                f"p90 {s['p90_s'] * 1e3:7.1f} ms   "
+                f"p99 {s['p99_s'] * 1e3:7.1f} ms"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""The solver worker pool: bounded-concurrency LP solving.
+
+Distinct models solve in parallel — in separate *processes* by default
+(the LP work is CPU-bound; HiGHS holds the GIL for long stretches), or
+in threads / inline for tests and small deployments.  Each request
+carries a time budget that caps the solver's own cut-off (the paper's
+three-minute CPLEX bound is the default ceiling).
+
+Thread and inline modes additionally reuse warm :class:`BuiltModel`
+objects through a fingerprint-keyed cache: a request whose plan was
+evicted but whose model is still around skips the model-generation pass,
+and the LP layer's compiled-matrix cache then makes the re-solve start
+immediately.  (Process workers rebuild — shipping a model across a
+process boundary costs more than generating it.)
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+
+from ..core.model_builder import BuiltModel, PlanningError, build_model
+from ..core.plan import ExecutionPlan
+from ..core.problem import PlanningProblem
+from .cache import LRUCache
+
+#: Supported execution modes.
+MODES = ("process", "thread", "inline")
+
+
+def solve_problem(
+    problem: PlanningProblem,
+    time_limit: float = 180.0,
+    mip_gap: float = 0.01,
+    backend: str = "auto",
+) -> ExecutionPlan:
+    """Cold solve: build the model and solve it (process-worker entry).
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it.
+    """
+    built = build_model(problem)
+    return _solve_built(built, problem, time_limit, mip_gap, backend)
+
+
+def _solve_built(
+    built: BuiltModel,
+    problem: PlanningProblem,
+    time_limit: float,
+    mip_gap: float,
+    backend: str,
+) -> ExecutionPlan:
+    solution = built.model.solve(
+        backend=backend, time_limit=time_limit, mip_gap=mip_gap
+    )
+    if not solution.status.has_solution:
+        raise PlanningError(
+            f"planning failed for {problem.job.name!r}: "
+            f"{solution.status.value} ({solution.message})"
+        )
+    return built.extract_plan(solution)
+
+
+class SolverPool:
+    """Dispatches planning problems to solver workers.
+
+    Parameters
+    ----------
+    max_workers:
+        Bound on concurrent solves.
+    mode:
+        ``"process"`` (default), ``"thread"``, or ``"inline"`` (solve on
+        the calling thread; concurrency 1 — deterministic, for tests).
+    time_limit:
+        Ceiling on any request's solver cut-off, seconds.
+    mip_gap, backend:
+        Passed through to :meth:`Model.solve`.
+    model_cache:
+        Optional :class:`LRUCache` of warm ``BuiltModel`` objects, used
+        by thread/inline workers when the submit carries a fingerprint.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 2,
+        mode: str = "process",
+        time_limit: float = 180.0,
+        mip_gap: float = 0.01,
+        backend: str = "auto",
+        model_cache: LRUCache | None = None,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown pool mode {mode!r}; pick one of {MODES}")
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.mode = mode
+        self.max_workers = 1 if mode == "inline" else max_workers
+        self.time_limit = time_limit
+        self.mip_gap = mip_gap
+        self.backend = backend
+        self.model_cache = model_cache
+        self._lock = threading.Lock()
+        self._executor: concurrent.futures.Executor | None = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _ensure_executor(self) -> concurrent.futures.Executor | None:
+        with self._lock:
+            if self._executor is None and self.mode != "inline":
+                if self.mode == "process":
+                    self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+                else:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="repro-solver",
+                    )
+            return self._executor
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    # -- dispatch ---------------------------------------------------------
+
+    def effective_time_limit(self, time_budget_s: float | None) -> float:
+        if time_budget_s is None:
+            return self.time_limit
+        return max(1e-3, min(self.time_limit, time_budget_s))
+
+    def submit(
+        self,
+        problem: PlanningProblem,
+        fingerprint: str | None = None,
+        time_budget_s: float | None = None,
+    ) -> "Future[ExecutionPlan]":
+        """Schedule a solve; the future resolves to an ExecutionPlan or
+        raises the solver's :class:`PlanningError`."""
+        limit = self.effective_time_limit(time_budget_s)
+        if self.mode == "process":
+            executor = self._ensure_executor()
+            assert executor is not None
+            return executor.submit(
+                solve_problem, problem, limit, self.mip_gap, self.backend
+            )
+        if self.mode == "thread":
+            executor = self._ensure_executor()
+            assert executor is not None
+            return executor.submit(self._solve_warm, problem, fingerprint, limit)
+        future: "Future[ExecutionPlan]" = Future()
+        try:
+            future.set_result(self._solve_warm(problem, fingerprint, limit))
+        except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+            future.set_exception(exc)
+        return future
+
+    def _solve_warm(
+        self,
+        problem: PlanningProblem,
+        fingerprint: str | None,
+        time_limit: float,
+    ) -> ExecutionPlan:
+        """Thread/inline worker: reuse a warm BuiltModel when available."""
+        built: BuiltModel | None = None
+        if self.model_cache is not None and fingerprint:
+            built = self.model_cache.get(fingerprint)
+        if built is None:
+            built = build_model(problem)
+            if self.model_cache is not None and fingerprint:
+                self.model_cache.put(fingerprint, built)
+        return _solve_built(built, problem, time_limit, self.mip_gap, self.backend)

@@ -1,0 +1,147 @@
+"""Request/response vocabulary of the planning service.
+
+Customers — *tenants* — submit :class:`PlanRequest` objects: a
+:class:`~repro.core.problem.PlanningProblem` plus scheduling metadata
+(priority, a turnaround deadline, a solver time budget).  The service
+answers with a :class:`PlanResult` carrying the plan (or the failure),
+whether it came from the cache, and the request's timing breakdown.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..core.plan import ExecutionPlan
+from ..core.problem import PlanningProblem
+
+
+class RequestStatus(enum.Enum):
+    """Lifecycle of a submitted request."""
+
+    PENDING = "pending"        # queued in the broker
+    RUNNING = "running"        # dispatched to a solver worker
+    COMPLETED = "completed"    # plan available (solved or cached)
+    FAILED = "failed"          # solver error / infeasible problem
+    REJECTED = "rejected"      # refused by admission control or shutdown
+    EXPIRED = "expired"        # turnaround deadline passed while queued
+
+    @property
+    def is_terminal(self) -> bool:
+        return self is not RequestStatus.PENDING and self is not RequestStatus.RUNNING
+
+
+@dataclass
+class PlanRequest:
+    """One tenant's planning request.
+
+    Attributes
+    ----------
+    tenant:
+        Account the request is billed/queued under.
+    problem:
+        The planning problem to solve.
+    priority:
+        Smaller is more urgent (0 = platinum).  Orders requests across
+        tenant queues; ties break by turnaround deadline, then FIFO.
+    deadline_s:
+        Turnaround SLO in seconds from submission.  A request still
+        queued when it expires is failed as :attr:`RequestStatus.EXPIRED`
+        rather than solved uselessly late.
+    time_budget_s:
+        Cap on the solver's own time limit *when this request triggers a
+        solve* (the paper's 3-minute bound is the service default;
+        tenants may tighten it).  A request served from the cache or by
+        coalescing onto an identical in-flight solve never runs its own
+        solver, so the budget does not apply there — bound total
+        turnaround with ``deadline_s`` instead.
+    """
+
+    tenant: str
+    problem: PlanningProblem
+    priority: int = 1
+    deadline_s: float | None = None
+    time_budget_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ValueError("tenant must be non-empty")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if self.time_budget_s is not None and self.time_budget_s <= 0:
+            raise ValueError("time_budget_s must be positive")
+
+
+@dataclass
+class PlanResult:
+    """Terminal outcome of a request."""
+
+    request_id: int
+    tenant: str
+    status: RequestStatus
+    plan: ExecutionPlan | None = None
+    error: str = ""
+    #: True when the plan was served from the plan cache (including
+    #: requests coalesced onto another tenant's identical in-flight solve).
+    cached: bool = False
+    fingerprint: str = ""
+    #: Seconds spent queued in the broker before dispatch.
+    queue_wait_s: float = 0.0
+    #: Seconds spent solving (0 for cache hits).
+    solve_s: float = 0.0
+    #: Submission-to-completion wall time.
+    total_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is RequestStatus.COMPLETED and self.plan is not None
+
+
+class SubmittedRequest:
+    """Handle returned by :meth:`PlanningService.submit`.
+
+    The service completes it asynchronously; callers block on
+    :meth:`result` (or poll :meth:`done`).
+    """
+
+    def __init__(self, request: PlanRequest, request_id: int, fingerprint: str) -> None:
+        self.request = request
+        self.request_id = request_id
+        self.fingerprint = fingerprint
+        self.submitted_at = time.perf_counter()
+        self.dispatched_at: float | None = None
+        self._done = threading.Event()
+        self._result: PlanResult | None = None
+
+    # -- service side -----------------------------------------------------
+
+    def _complete(self, result: PlanResult) -> None:
+        self._result = result
+        self._done.set()
+
+    # -- caller side ------------------------------------------------------
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> PlanResult:
+        """Block until the service finishes the request."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not finished within {timeout}s"
+            )
+        assert self._result is not None
+        return self._result
+
+    @property
+    def tenant(self) -> str:
+        return self.request.tenant
+
+    #: Absolute monotonic instant at which the turnaround SLO expires.
+    @property
+    def expires_at(self) -> float | None:
+        if self.request.deadline_s is None:
+            return None
+        return self.submitted_at + self.request.deadline_s

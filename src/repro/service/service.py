@@ -1,0 +1,458 @@
+"""The multi-tenant planning service.
+
+``PlanningService`` is the front-end the tentpole describes: tenants
+submit :class:`PlanningProblem` objects and get execution plans back,
+with the service deciding *when* and *whether* to run the LP at all:
+
+1. the **broker** (per-tenant queues, admission control) orders the
+   backlog by priority and turnaround deadline;
+2. the **fingerprint + plan cache** short-circuits identical or
+   equivalent requests — a cache hit never touches the solver, and
+   identical requests already *in flight* coalesce onto one solve;
+3. the **solver pool** runs distinct models concurrently under a
+   bounded worker count and per-request time budgets;
+4. **metrics** record queue wait, solve latency percentiles and cache
+   effectiveness.
+
+The deploy/monitor/adapt side of accepted plans lives in
+:mod:`repro.service.session`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..core.plan import ExecutionPlan
+from ..core.problem import PlanningProblem
+from .broker import AdmissionError, RequestBroker
+from .cache import LRUCache
+from .fingerprint import problem_fingerprint
+from .metrics import ServiceMetrics
+from .pool import SolverPool
+from .requests import PlanRequest, PlanResult, RequestStatus, SubmittedRequest
+
+__all__ = ["AdmissionError", "PlanningService", "ServiceConfig"]
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs of one service instance."""
+
+    #: Concurrent solver workers.
+    max_workers: int = 2
+    #: ``"process"`` | ``"thread"`` | ``"inline"`` (see :class:`SolverPool`).
+    pool_mode: str = "process"
+    #: Plan-cache entries (fingerprint -> ExecutionPlan).
+    cache_capacity: int = 256
+    #: Warm BuiltModel entries (thread/inline pools only).
+    model_cache_capacity: int = 32
+    max_pending_total: int = 256
+    max_pending_per_tenant: int = 64
+    #: Ceiling on any request's solver cut-off (paper Section 4.8).
+    solver_time_limit_s: float = 180.0
+    mip_gap: float = 0.01
+    backend: str = "auto"
+
+
+class PlanningService:
+    """Accepts, schedules, caches and solves tenants' planning requests."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = ServiceMetrics()
+        self.broker = RequestBroker(
+            max_pending_total=self.config.max_pending_total,
+            max_pending_per_tenant=self.config.max_pending_per_tenant,
+        )
+        self.plan_cache: LRUCache[ExecutionPlan] = LRUCache(
+            self.config.cache_capacity
+        )
+        self.model_cache: LRUCache = LRUCache(self.config.model_cache_capacity)
+        self.pool = SolverPool(
+            max_workers=self.config.max_workers,
+            mode=self.config.pool_mode,
+            time_limit=self.config.solver_time_limit_s,
+            mip_gap=self.config.mip_gap,
+            backend=self.config.backend,
+            model_cache=self.model_cache,
+        )
+        self._slots = threading.Semaphore(self.pool.max_workers)
+        self._inflight: dict[str, list[SubmittedRequest]] = {}
+        #: Fingerprints whose running solve is shaped by the primary's own
+        #: time budget / SLO; coalesced duplicates must not inherit it.
+        self._inflight_budgeted: set[str] = set()
+        self._inflight_lock = threading.Lock()
+        self._next_id = 0
+        self._id_lock = threading.Lock()
+        self._running = False
+        self._stopped = False
+        self._dispatcher: threading.Thread | None = None
+        self._start_lock = threading.Lock()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "PlanningService":
+        """Start the dispatcher (idempotent; ``submit`` calls it lazily).
+
+        A stopped service never restarts: its broker is closed for good,
+        so only cache hits are served and new work is refused.
+        """
+        with self._start_lock:
+            if not self._running and not self._stopped:
+                self._running = True
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop, name="repro-dispatcher", daemon=True
+                )
+                self._dispatcher.start()
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop accepting work; reject the backlog; drain in-flight solves."""
+        with self._start_lock:
+            self._running = False
+            self._stopped = True
+        self.broker.close()
+        for ticket in self.broker.drain():
+            self._finish(
+                ticket,
+                RequestStatus.REJECTED,
+                error="service stopped",
+            )
+            self.metrics.record_rejected()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=10.0)
+            self._dispatcher = None
+        self.pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "PlanningService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- submission -------------------------------------------------------
+
+    def submit(
+        self,
+        problem: PlanningProblem,
+        *,
+        tenant: str = "default",
+        priority: int = 1,
+        deadline_s: float | None = None,
+        time_budget_s: float | None = None,
+    ) -> SubmittedRequest:
+        """Submit one problem; returns a handle to block on."""
+        return self.submit_request(
+            PlanRequest(
+                tenant=tenant,
+                problem=problem,
+                priority=priority,
+                deadline_s=deadline_s,
+                time_budget_s=time_budget_s,
+            )
+        )
+
+    def submit_request(
+        self,
+        request: PlanRequest,
+        block: bool = False,
+        poll_s: float = 0.05,
+    ) -> SubmittedRequest:
+        """Submit a prepared :class:`PlanRequest`.
+
+        Raises :class:`AdmissionError` when the broker refuses the
+        request; with ``block=True`` a *full* backlog applies
+        backpressure instead (waiting for the dispatcher to drain) and
+        only a closed broker still raises.  The request is counted and
+        time-stamped once, so an SLO covers time spent blocked.  Cache
+        hits complete synchronously and never consume queue space.
+        """
+        self.start()
+        fingerprint = problem_fingerprint(request.problem)
+        ticket = SubmittedRequest(request, self._allocate_id(), fingerprint)
+        self.metrics.record_submitted()
+
+        cached = self.plan_cache.get(fingerprint)
+        if cached is not None:
+            self._finish(
+                ticket, RequestStatus.COMPLETED, plan=cached, cached=True
+            )
+            self.metrics.record_completion(
+                request.tenant, cached=True, total_s=0.0
+            )
+            return ticket
+
+        while True:
+            try:
+                self.broker.submit(ticket)
+                return ticket
+            except AdmissionError:
+                if not block or self.broker.closed:
+                    self.metrics.record_rejected()
+                    raise
+                time.sleep(poll_s)
+
+    def _allocate_id(self) -> int:
+        with self._id_lock:
+            self._next_id += 1
+            return self._next_id
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while self._running:
+            ticket = self.broker.pop(timeout=0.2)
+            if ticket is None:
+                if self.broker.closed:
+                    break
+                continue
+            try:
+                self._dispatch(ticket)
+            except Exception as exc:  # pragma: no cover - defensive
+                self._finish(ticket, RequestStatus.FAILED, error=str(exc))
+                self.metrics.record_failure()
+
+    def _dispatch(self, ticket: SubmittedRequest) -> None:
+        now = time.perf_counter()
+        queue_wait = now - ticket.submitted_at
+        self.metrics.record_queue_wait(queue_wait)
+
+        expires_at = ticket.expires_at
+        if expires_at is not None and now >= expires_at:
+            self._finish(
+                ticket,
+                RequestStatus.EXPIRED,
+                error=f"turnaround deadline of {ticket.request.deadline_s}s "
+                f"expired after {queue_wait:.2f}s in queue",
+                queue_wait_s=queue_wait,
+            )
+            self.metrics.record_expired()
+            return
+
+        # The plan may have landed while this request was queued.
+        plan = self.plan_cache.get(ticket.fingerprint)
+        if plan is not None:
+            self._finish(
+                ticket,
+                RequestStatus.COMPLETED,
+                plan=plan,
+                cached=True,
+                queue_wait_s=queue_wait,
+            )
+            self.metrics.record_completion(
+                ticket.tenant, cached=True, total_s=now - ticket.submitted_at
+            )
+            return
+
+        # Identical problem already solving: piggyback on that solve.
+        with self._inflight_lock:
+            waiters = self._inflight.get(ticket.fingerprint)
+            if waiters is not None:
+                waiters.append(ticket)
+                return
+            self._inflight[ticket.fingerprint] = []
+
+        # Second cache look, after registering: _on_solved publishes the
+        # plan *before* popping its in-flight entry, so missing the cache
+        # above and finding no entry can also mean the plan landed in
+        # between.  This look closes that gap (an optimal plan is always
+        # visible here; a failed or cut-off solve legitimately re-runs).
+        plan = self.plan_cache.get(ticket.fingerprint)
+        if plan is not None:
+            with self._inflight_lock:
+                late_waiters = self._inflight.pop(ticket.fingerprint, [])
+            now = time.perf_counter()
+            for hit in (ticket, *late_waiters):
+                self._finish(
+                    hit,
+                    RequestStatus.COMPLETED,
+                    plan=plan,
+                    cached=True,
+                    queue_wait_s=now - hit.submitted_at,
+                )
+                self.metrics.record_completion(
+                    hit.tenant, cached=True, total_s=now - hit.submitted_at
+                )
+            return
+
+        # Bounded concurrency: hold dispatch (and therefore ordering)
+        # until a worker slot frees up.
+        while not self._slots.acquire(timeout=0.2):
+            if not self._running:
+                with self._inflight_lock:
+                    self._inflight.pop(ticket.fingerprint, None)
+                self._finish(
+                    ticket, RequestStatus.REJECTED, error="service stopped"
+                )
+                self.metrics.record_rejected()
+                return
+
+        # The slot wait may have outlived the turnaround deadline.  No
+        # waiters can have coalesced yet — only this (dispatcher) thread
+        # appends them, and it has been blocked here — so expiring the
+        # primary just drops the entry and gives the slot back.
+        expires_at = ticket.expires_at
+        if expires_at is not None and time.perf_counter() >= expires_at:
+            with self._inflight_lock:
+                self._inflight.pop(ticket.fingerprint, None)
+            self._finish(
+                ticket,
+                RequestStatus.EXPIRED,
+                error="turnaround deadline expired while waiting for a "
+                "solver slot",
+            )
+            self.metrics.record_expired()
+            self._slots.release()
+            return
+
+        budget = ticket.request.time_budget_s
+        if ticket.expires_at is not None:
+            remaining = max(1e-3, ticket.expires_at - time.perf_counter())
+            budget = remaining if budget is None else min(budget, remaining)
+        if budget is not None:
+            with self._inflight_lock:
+                self._inflight_budgeted.add(ticket.fingerprint)
+        ticket.dispatched_at = time.perf_counter()
+        try:
+            future = self.pool.submit(
+                ticket.request.problem, ticket.fingerprint, budget
+            )
+        except BaseException as exc:
+            # A broken pool must not leak the slot or strand coalesced
+            # waiters on a dead in-flight entry.
+            self._slots.release()
+            with self._inflight_lock:
+                waiters = self._inflight.pop(ticket.fingerprint, [])
+                self._inflight_budgeted.discard(ticket.fingerprint)
+            message = f"{type(exc).__name__}: {exc}"
+            for stranded in (ticket, *waiters):
+                self._finish(stranded, RequestStatus.FAILED, error=message)
+                self.metrics.record_failure()
+            return
+        future.add_done_callback(lambda fut: self._on_solved(ticket, fut))
+
+    def _requeue(self, tickets: list[SubmittedRequest]) -> None:
+        """Put coalesced waiters back in the queue for their own solve
+        (their primary's outcome was shaped by *its* time budget)."""
+        for ticket in tickets:
+            try:
+                self.broker.submit(ticket)
+            except AdmissionError as exc:
+                self._finish(ticket, RequestStatus.REJECTED, error=str(exc))
+                self.metrics.record_rejected()
+
+    def _on_solved(self, primary: SubmittedRequest, future) -> None:
+        self._slots.release()
+        now = time.perf_counter()
+        dispatched = primary.dispatched_at or now
+        solve_s = now - dispatched
+        queue_wait = dispatched - primary.submitted_at
+
+        error = future.exception()
+        if error is None:
+            # Publish before dropping the in-flight entry: an identical
+            # request dispatched in between must find one or the other,
+            # never a gap that re-triggers the solve.  Only optimal plans
+            # are published — a cut-off incumbent shaped by one tenant's
+            # tiny time budget must not be served to everyone else.
+            plan = future.result()
+            if plan.solver_status == "optimal":
+                self.plan_cache.put(primary.fingerprint, plan)
+        with self._inflight_lock:
+            waiters = self._inflight.pop(primary.fingerprint, [])
+            budgeted = primary.fingerprint in self._inflight_budgeted
+            self._inflight_budgeted.discard(primary.fingerprint)
+        if error is not None:
+            message = f"{type(error).__name__}: {error}"
+            self._finish(
+                primary,
+                RequestStatus.FAILED,
+                error=message,
+                queue_wait_s=queue_wait,
+                solve_s=solve_s,
+            )
+            self.metrics.record_failure()
+            if budgeted:
+                # The primary's tiny budget shaped this failure; waiters
+                # asked for a full solve — give them one.
+                self._requeue(waiters)
+            else:
+                for ticket in waiters:
+                    self._finish(ticket, RequestStatus.FAILED, error=message)
+                    self.metrics.record_failure()
+            return
+
+        plan = future.result()
+        if budgeted and plan.solver_status != "optimal" and waiters:
+            # Cut-off incumbent under the primary's budget: the primary
+            # accepts it (it asked for the cap), the waiters re-solve.
+            self._requeue(waiters)
+            waiters = []
+        self._finish(
+            primary,
+            RequestStatus.COMPLETED,
+            plan=plan,
+            queue_wait_s=queue_wait,
+            solve_s=solve_s,
+        )
+        self.metrics.record_completion(
+            primary.tenant,
+            cached=False,
+            solve_s=solve_s,
+            total_s=now - primary.submitted_at,
+        )
+        for ticket in waiters:
+            # The shared solve may have outlived a waiter's own SLO; the
+            # documented semantics fail it as EXPIRED, not "solved late".
+            expires_at = ticket.expires_at
+            if expires_at is not None and now >= expires_at:
+                self._finish(
+                    ticket,
+                    RequestStatus.EXPIRED,
+                    error="turnaround deadline expired during the "
+                    "coalesced solve",
+                )
+                self.metrics.record_expired()
+                continue
+            self._finish(
+                ticket,
+                RequestStatus.COMPLETED,
+                plan=plan,
+                cached=True,
+                queue_wait_s=now - ticket.submitted_at,
+            )
+            self.metrics.record_completion(
+                ticket.tenant,
+                cached=True,
+                coalesced=True,
+                total_s=now - ticket.submitted_at,
+            )
+
+    # -- completion -------------------------------------------------------
+
+    def _finish(
+        self,
+        ticket: SubmittedRequest,
+        status: RequestStatus,
+        plan: ExecutionPlan | None = None,
+        error: str = "",
+        cached: bool = False,
+        queue_wait_s: float = 0.0,
+        solve_s: float = 0.0,
+    ) -> None:
+        ticket._complete(
+            PlanResult(
+                request_id=ticket.request_id,
+                tenant=ticket.tenant,
+                status=status,
+                plan=plan,
+                error=error,
+                cached=cached,
+                fingerprint=ticket.fingerprint,
+                queue_wait_s=queue_wait_s,
+                solve_s=solve_s,
+                total_s=time.perf_counter() - ticket.submitted_at,
+            )
+        )

@@ -1,0 +1,158 @@
+"""Deployment sessions: the deploy/monitor/adapt side of the service.
+
+A plan the service accepted is only half the story — Conductor then
+deploys it, monitors progress and re-plans on deviation (paper Sections
+5.2/5.4).  A :class:`DeploySession` runs one tenant's full
+:class:`~repro.core.controller.JobController` loop on a background
+thread and streams each :class:`IntervalOutcome` as it happens, so a
+front-end can render live progress; the :class:`SessionManager` tracks
+many tenants' sessions side by side.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from typing import Iterator
+
+from ..core.conditions import ActualConditions
+from ..core.controller import ControllerConfig, ControllerResult, JobController
+from ..core.executor import IntervalOutcome
+from ..core.planner import Planner
+
+_DONE = object()
+
+
+class DeploySession:
+    """One deployment run, streaming progress as it executes."""
+
+    def __init__(
+        self,
+        session_id: int,
+        tenant: str,
+        controller: JobController,
+        actual: ActualConditions | None = None,
+    ) -> None:
+        self.session_id = session_id
+        self.tenant = tenant
+        self.controller = controller
+        self.actual = actual
+        self.result: ControllerResult | None = None
+        self.error: Exception | None = None
+        self._events: "queue.Queue" = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-session-{session_id}", daemon=True
+        )
+
+    def _start(self) -> "DeploySession":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        try:
+            self.result = self.controller.run(
+                self.actual, on_interval=self._events.put
+            )
+        except Exception as exc:  # surfaced via wait()/events()
+            self.error = exc
+        finally:
+            self._events.put(_DONE)
+
+    # -- consumption ------------------------------------------------------
+
+    def events(self, timeout: float | None = None) -> Iterator[IntervalOutcome]:
+        """Yield interval outcomes as the deployment produces them.
+
+        Ends when the controller finishes; raises the controller's
+        exception if the run failed.  ``timeout`` bounds the wait for
+        *each* event; a stalled stream raises :class:`TimeoutError`
+        (the package-wide convention, matching :meth:`wait`).
+        """
+        while True:
+            try:
+                event = self._events.get(timeout=timeout)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"session {self.session_id}: no progress within {timeout}s"
+                ) from None
+            if event is _DONE:
+                break
+            yield event
+        if self.error is not None:
+            raise self.error
+
+    def wait(self, timeout: float | None = None) -> ControllerResult:
+        """Block until the deployment completes and return its result."""
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError(
+                f"session {self.session_id} still running after {timeout}s"
+            )
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+    @property
+    def running(self) -> bool:
+        return self._thread.is_alive()
+
+
+class SessionManager:
+    """Starts and tracks deployment sessions across tenants."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[int, DeploySession] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def start(
+        self,
+        tenant: str,
+        job,
+        services,
+        goal,
+        network=None,
+        actual: ActualConditions | None = None,
+        planner: Planner | None = None,
+        config: ControllerConfig | None = None,
+        predictor=None,
+        trace=None,
+        trace_offset_hours: float = 0.0,
+        problem_kwargs: dict | None = None,
+    ) -> DeploySession:
+        """Launch a controller loop for an accepted plan's job."""
+        controller = JobController(
+            job,
+            services,
+            goal,
+            network=network,
+            planner=planner,
+            config=config,
+            predictor=predictor,
+            trace=trace,
+            trace_offset_hours=trace_offset_hours,
+            problem_kwargs=problem_kwargs,
+        )
+        with self._lock:
+            session_id = next(self._ids)
+            session = DeploySession(session_id, tenant, controller, actual)
+            self._sessions[session_id] = session
+        return session._start()
+
+    def get(self, session_id: int) -> DeploySession:
+        with self._lock:
+            return self._sessions[session_id]
+
+    def sessions(self, tenant: str | None = None) -> list[DeploySession]:
+        with self._lock:
+            found = list(self._sessions.values())
+        if tenant is not None:
+            found = [s for s in found if s.tenant == tenant]
+        return found
+
+    def join_all(self, timeout: float | None = None) -> None:
+        for session in self.sessions():
+            if session.running:
+                session.wait(timeout)

@@ -1,0 +1,200 @@
+"""Synthetic multi-tenant workloads for the planning service.
+
+Mixes the repo's example scenarios into a stream of tenant requests:
+
+- ``quickstart`` — the paper's public-cloud k-means planning problem;
+- ``hybrid``     — public cloud plus the customer's own cluster;
+- ``spot``       — spot-market compute with estimated prices in the
+  objective;
+- ``pig``        — stages of a compiled Pig-Latin pipeline.
+
+Parameters are drawn from small discrete grids, which is what real
+planning traffic looks like (catalogs and deadlines are shared across an
+organization's jobs) and what makes the plan cache earn its keep: a
+64-request workload only contains a few dozen *distinct* problems.
+Generation is deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from typing import Mapping, Sequence
+
+from ..cloud.catalog import hybrid_cloud, public_cloud
+from ..core.problem import Goal, NetworkConditions, PlannerJob, PlanningProblem
+from ..core.spot_sim import spot_services
+from ..units import mb_s_to_gb_h, mbit_s_to_mb_s
+from .requests import PlanRequest
+
+SCENARIOS = ("quickstart", "hybrid", "spot", "pig")
+
+#: Default scenario mix (weights; normalized at draw time).
+DEFAULT_MIX: Mapping[str, float] = {
+    "quickstart": 0.4,
+    "hybrid": 0.25,
+    "spot": 0.2,
+    "pig": 0.15,
+}
+
+#: Discrete parameter grids (see module docstring for why they're small).
+INPUT_GRID = (8.0, 16.0, 32.0)
+DEADLINE_GRID = (4.0, 6.0, 8.0)
+UPLINK_GRID = (16.0, 32.0)
+LOCAL_NODES_GRID = (3, 5)
+SPOT_PRICE_GRID = (0.15, 0.25)
+
+#: Clickstream rollup used by the ``pig`` scenario (examples/pig_pipeline).
+PIG_SCRIPT = (
+    "clicks = LOAD 'clicks' AS (url:chararray, site:chararray, ms:int);\n"
+    "ok     = FILTER clicks BY ms >= 0;\n"
+    "bysite = GROUP ok BY site;\n"
+    "rollup = FOREACH bysite GENERATE group, COUNT(ok) AS hits;\n"
+    "STORE rollup INTO 'hot-sites';\n"
+)
+
+@lru_cache(maxsize=64)
+def _pig_stage_jobs(input_gb: float) -> tuple[PlannerJob, ...]:
+    """Planner jobs for the canned Pig pipeline (compiled once per size)."""
+    from ..pig import compile_script
+
+    pipeline = compile_script(PIG_SCRIPT)
+    loads = pipeline.plan.loads
+    per_load = {load.path: input_gb / len(loads) for load in loads}
+    return tuple(pipeline.to_planner_jobs(per_load))
+
+
+def problem_for_scenario(
+    scenario: str,
+    *,
+    input_gb: float = 16.0,
+    deadline_hours: float = 6.0,
+    uplink_mbit: float = 16.0,
+    local_nodes: int = 5,
+    spot_price: float = 0.2,
+    stage: int = 0,
+) -> PlanningProblem:
+    """Build the planning problem one scenario request stands for."""
+    network = NetworkConditions.from_mbit_s(uplink_mbit)
+    goal = Goal.min_cost(deadline_hours=deadline_hours)
+    if scenario == "quickstart":
+        return PlanningProblem(
+            job=PlannerJob(name="kmeans", input_gb=input_gb),
+            services=public_cloud(),
+            network=network,
+            goal=goal,
+        )
+    if scenario == "hybrid":
+        return PlanningProblem(
+            job=PlannerJob(name="kmeans", input_gb=input_gb),
+            services=hybrid_cloud(local_nodes=local_nodes),
+            network=network,
+            goal=goal,
+        )
+    if scenario == "spot":
+        services = spot_services()
+        horizon = max(1, int(deadline_hours))
+        estimates = {
+            s.name: [spot_price] * horizon for s in services if s.is_spot
+        }
+        return PlanningProblem(
+            job=PlannerJob(name="kmeans", input_gb=input_gb),
+            services=services,
+            network=network,
+            goal=goal,
+            spot_price_estimates=estimates,
+        )
+    if scenario == "pig":
+        jobs = _pig_stage_jobs(input_gb)
+        job = jobs[stage % len(jobs)]
+        return PlanningProblem(
+            job=job,
+            services=public_cloud(),
+            network=network,
+            goal=goal,
+        )
+    raise ValueError(f"unknown scenario {scenario!r}; pick one of {SCENARIOS}")
+
+
+def generate_workload(
+    tenants: int = 8,
+    requests: int = 64,
+    seed: int = 0,
+    mix: Mapping[str, float] | None = None,
+) -> list[PlanRequest]:
+    """A deterministic stream of ``requests`` tenant requests."""
+    if tenants <= 0 or requests < 0:
+        raise ValueError("tenants must be positive, requests non-negative")
+    mix = dict(mix or DEFAULT_MIX)
+    unknown = set(mix) - set(SCENARIOS)
+    if unknown:
+        raise ValueError(f"unknown scenarios in mix: {sorted(unknown)}")
+    rng = random.Random(seed)
+    names = list(mix)
+    weights = [mix[name] for name in names]
+    out: list[PlanRequest] = []
+    for index in range(requests):
+        scenario = rng.choices(names, weights=weights)[0]
+        input_gb = rng.choice(INPUT_GRID)
+        uplink_mbit = rng.choice(UPLINK_GRID)
+        # Keep the draw feasible: the input must clear the uplink with
+        # slack to process it, or every such request would just fail.
+        upload_hours = input_gb / mb_s_to_gb_h(mbit_s_to_mb_s(uplink_mbit))
+        candidates = [d for d in DEADLINE_GRID if upload_hours < 0.8 * d]
+        deadline = rng.choice(candidates or (max(DEADLINE_GRID),))
+        problem = problem_for_scenario(
+            scenario,
+            input_gb=input_gb,
+            deadline_hours=deadline,
+            uplink_mbit=uplink_mbit,
+            local_nodes=rng.choice(LOCAL_NODES_GRID),
+            spot_price=rng.choice(SPOT_PRICE_GRID),
+            stage=index,
+        )
+        out.append(
+            PlanRequest(
+                tenant=f"tenant-{rng.randrange(tenants)}",
+                problem=problem,
+                priority=rng.choice((0, 1, 1, 2)),
+            )
+        )
+    return out
+
+
+def run_workload(
+    service,
+    requests: Sequence[PlanRequest],
+    timeout_s: float = 600.0,
+):
+    """Submit a workload and wait for every result.
+
+    Returns ``(results, rejected)`` where ``rejected`` counts requests
+    the broker refused at admission.  A handle the service does not
+    finish within ``timeout_s`` yields a synthetic FAILED result rather
+    than raising, so one stuck request cannot lose the whole report.
+    """
+    from .broker import AdmissionError
+    from .requests import PlanResult, RequestStatus
+
+    handles = []
+    rejected = 0
+    for request in requests:
+        try:
+            handles.append(service.submit_request(request))
+        except AdmissionError:
+            rejected += 1
+    results = []
+    for handle in handles:
+        try:
+            results.append(handle.result(timeout=timeout_s))
+        except TimeoutError as exc:
+            results.append(
+                PlanResult(
+                    request_id=handle.request_id,
+                    tenant=handle.tenant,
+                    status=RequestStatus.FAILED,
+                    error=f"client wait timed out: {exc}",
+                    fingerprint=handle.fingerprint,
+                )
+            )
+    return results, rejected

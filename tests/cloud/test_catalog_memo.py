@@ -1,0 +1,49 @@
+"""Catalog memoization: repeated lookups are cached, returned lists are
+fresh, and the shared descriptions stay pristine."""
+
+from repro.cloud import (
+    ec2_m1_large,
+    full_instance_catalog,
+    hybrid_cloud,
+    local_cluster,
+    public_cloud,
+    s3,
+)
+
+
+class TestMemoization:
+    def test_constructors_are_cached(self):
+        assert ec2_m1_large() is ec2_m1_large()
+        assert s3() is s3()
+        assert local_cluster(5) is local_cluster(5)
+
+    def test_distinct_arguments_distinct_objects(self):
+        assert ec2_m1_large(0.44) is not ec2_m1_large(6.2)
+        assert local_cluster(5) is not local_cluster(10)
+
+    def test_catalog_lists_are_fresh(self):
+        first = public_cloud()
+        second = public_cloud()
+        assert first is not second
+        first.append("sentinel")
+        assert "sentinel" not in public_cloud()
+
+    def test_catalog_contents_are_shared(self):
+        assert public_cloud()[0] is public_cloud()[0]
+        assert full_instance_catalog()[0] is full_instance_catalog()[0]
+
+    def test_hybrid_extends_public(self):
+        hybrid = hybrid_cloud(local_nodes=4)
+        assert [s.name for s in hybrid[:-1]] == [s.name for s in public_cloud()]
+        assert hybrid[-1].max_nodes == 4
+
+    def test_replace_still_copies(self):
+        cached = ec2_m1_large()
+        tweaked = cached.replace(price_per_node_hour=0.99)
+        assert tweaked is not cached
+        assert cached.price_per_node_hour == 0.34
+
+    def test_full_catalog_unchanged(self):
+        catalog = full_instance_catalog()
+        assert len(catalog) == 11
+        assert {s.provider for s in catalog} == {"aws"}

@@ -1,0 +1,114 @@
+"""Request broker: admission control and dispatch ordering."""
+
+import pytest
+
+from repro.cloud import public_cloud
+from repro.core import Goal, NetworkConditions, PlannerJob, PlanningProblem
+from repro.service import AdmissionError, PlanRequest, RequestBroker, SubmittedRequest
+
+PROBLEM = PlanningProblem(
+    job=PlannerJob(name="job", input_gb=4.0),
+    services=public_cloud(),
+    network=NetworkConditions.from_mbit_s(16.0),
+    goal=Goal.min_cost(deadline_hours=3.0),
+)
+
+_ids = iter(range(1, 10_000))
+
+
+def ticket(tenant="t0", priority=1, deadline_s=None) -> SubmittedRequest:
+    request = PlanRequest(
+        tenant=tenant, problem=PROBLEM, priority=priority, deadline_s=deadline_s
+    )
+    return SubmittedRequest(request, next(_ids), "fp")
+
+
+class TestAdmission:
+    def test_per_tenant_bound(self):
+        broker = RequestBroker(max_pending_total=10, max_pending_per_tenant=2)
+        broker.submit(ticket("a"))
+        broker.submit(ticket("a"))
+        with pytest.raises(AdmissionError, match="tenant 'a'"):
+            broker.submit(ticket("a"))
+        # Other tenants are unaffected by a's full queue.
+        broker.submit(ticket("b"))
+        assert broker.pending == 3
+
+    def test_total_bound(self):
+        broker = RequestBroker(max_pending_total=2, max_pending_per_tenant=2)
+        broker.submit(ticket("a"))
+        broker.submit(ticket("b"))
+        with pytest.raises(AdmissionError, match="backlog full"):
+            broker.submit(ticket("c"))
+
+    def test_closed_broker_refuses(self):
+        broker = RequestBroker()
+        broker.close()
+        with pytest.raises(AdmissionError, match="closed"):
+            broker.submit(ticket())
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            RequestBroker(max_pending_total=0)
+
+
+class TestOrdering:
+    def test_priority_wins_across_tenants(self):
+        broker = RequestBroker()
+        late_urgent = ticket("b", priority=0)
+        broker.submit(ticket("a", priority=1))
+        broker.submit(late_urgent)
+        assert broker.pop(timeout=0.1) is late_urgent
+
+    def test_deadline_breaks_priority_ties(self):
+        broker = RequestBroker()
+        relaxed = ticket("a", priority=1, deadline_s=60.0)
+        tight = ticket("b", priority=1, deadline_s=5.0)
+        broker.submit(relaxed)
+        broker.submit(tight)
+        assert broker.pop(timeout=0.1) is tight
+        assert broker.pop(timeout=0.1) is relaxed
+
+    def test_fifo_within_tenant_and_priority(self):
+        broker = RequestBroker()
+        first = ticket("a")
+        second = ticket("a")
+        broker.submit(first)
+        broker.submit(second)
+        assert broker.pop(timeout=0.1) is first
+        assert broker.pop(timeout=0.1) is second
+
+    def test_no_deadline_sorts_after_any_deadline(self):
+        broker = RequestBroker()
+        unbounded = ticket("a", priority=1)
+        bounded = ticket("b", priority=1, deadline_s=3600.0)
+        broker.submit(unbounded)
+        broker.submit(bounded)
+        assert broker.pop(timeout=0.1) is bounded
+
+
+class TestLifecycle:
+    def test_pop_times_out_empty(self):
+        broker = RequestBroker()
+        assert broker.pop(timeout=0.01) is None
+
+    def test_drain_returns_backlog(self):
+        broker = RequestBroker()
+        tickets = [ticket("a"), ticket("b"), ticket("a")]
+        for t in tickets:
+            broker.submit(t)
+        drained = broker.drain()
+        assert sorted(t.request_id for t in drained) == sorted(
+            t.request_id for t in tickets
+        )
+        assert broker.pending == 0
+
+    def test_introspection(self):
+        broker = RequestBroker()
+        broker.submit(ticket("a"))
+        broker.submit(ticket("a"))
+        broker.submit(ticket("b"))
+        assert broker.pending == 3
+        assert broker.pending_for("a") == 2
+        assert broker.pending_for("missing") == 0
+        assert set(broker.tenants()) == {"a", "b"}

@@ -1,0 +1,80 @@
+"""Deployment sessions: controller loops with streamed progress."""
+
+import pytest
+
+from repro.cloud import public_cloud
+from repro.core import Goal, NetworkConditions, PlannerJob
+from repro.core.conditions import ActualConditions
+from repro.core.executor import IntervalOutcome
+from repro.service import SessionManager
+
+
+def start_small_session(manager, tenant="acme", input_gb=4.0):
+    return manager.start(
+        tenant,
+        PlannerJob(name="kmeans", input_gb=input_gb),
+        public_cloud(),
+        Goal.min_cost(deadline_hours=3.0),
+        network=NetworkConditions.from_mbit_s(16.0),
+    )
+
+
+class TestDeploySession:
+    def test_streams_every_interval_outcome(self):
+        manager = SessionManager()
+        session = start_small_session(manager)
+        streamed = list(session.events(timeout=300.0))
+        result = session.wait(timeout=300.0)
+        assert result.completed
+        assert all(isinstance(o, IntervalOutcome) for o in streamed)
+        # The stream is exactly the controller's outcome record, in order.
+        assert [o.index for o in streamed] == [o.index for o in result.outcomes]
+        assert len(streamed) >= 1
+
+    def test_wait_returns_controller_result(self):
+        manager = SessionManager()
+        session = start_small_session(manager)
+        result = session.wait(timeout=300.0)
+        assert result.completed and result.deadline_met
+        assert result.total_cost > 0
+        assert not session.running
+
+    def test_deviation_still_completes(self):
+        """A mispredicted throughput triggers re-planning mid-session."""
+        manager = SessionManager()
+        session = manager.start(
+            "acme",
+            PlannerJob(name="kmeans", input_gb=4.0),
+            public_cloud(),
+            Goal.min_cost(deadline_hours=4.0),
+            network=NetworkConditions.from_mbit_s(16.0),
+            actual=ActualConditions(
+                throughput_gb_per_hour={"ec2.m1.large": 0.22,
+                                        "ec2.m1.xlarge": 0.42}
+            ),
+        )
+        outcomes = list(session.events(timeout=600.0))
+        result = session.wait(timeout=600.0)
+        assert result.completed
+        assert len(outcomes) == len(result.outcomes)
+
+
+class TestSessionManager:
+    def test_tracks_sessions_per_tenant(self):
+        manager = SessionManager()
+        a = start_small_session(manager, tenant="a")
+        b = start_small_session(manager, tenant="b", input_gb=5.0)
+        manager.join_all(timeout=600.0)
+        assert {s.session_id for s in manager.sessions()} == {
+            a.session_id,
+            b.session_id,
+        }
+        assert manager.sessions(tenant="a") == [a]
+        assert manager.get(b.session_id) is b
+
+    def test_ids_are_unique_and_increasing(self):
+        manager = SessionManager()
+        first = start_small_session(manager)
+        second = start_small_session(manager)
+        assert second.session_id > first.session_id
+        manager.join_all(timeout=600.0)

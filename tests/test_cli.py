@@ -132,6 +132,84 @@ class TestPig:
         assert "compile error" in capsys.readouterr().err
 
 
+SERVICE_ARGS = ["--pool", "inline", "--workers", "1"]
+
+
+class TestSubmit:
+    def test_submit_repeat_shows_cache(self, capsys):
+        assert main(
+            ["submit", "--input-gb", "4", "--deadline", "3", "--repeat", "2",
+             *SERVICE_ARGS]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "via solver" in out
+        assert "via cache" in out
+        assert "predicted cost" in out
+
+    def test_submit_infeasible_fails(self, capsys):
+        assert main(
+            ["submit", "--input-gb", "64", "--deadline", "2", *SERVICE_ARGS]
+        ) == 1
+        assert "planning failed" in capsys.readouterr().err
+
+
+class TestLoadgen:
+    def test_small_workload_reports_metrics(self, capsys):
+        assert main(
+            ["loadgen", "--tenants", "2", "--requests", "6", "--seed", "1",
+             *SERVICE_ARGS]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "requests/s" in out
+        assert "hit rate" in out
+        assert "p99" in out
+
+
+class TestServe:
+    def test_serve_requests_file(self, tmp_path, capsys):
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            '{"tenant": "acme", "scenario": "quickstart", '
+            '"input_gb": 4, "deadline": 3}\n'
+            "# a comment line\n"
+            '{"tenant": "acme", "scenario": "quickstart", '
+            '"input_gb": 4, "deadline": 3}\n'
+        )
+        assert main(
+            ["serve", "--requests-file", str(path), *SERVICE_ARGS]
+        ) == 0
+        captured = capsys.readouterr()
+        lines = [l for l in captured.out.splitlines() if l.startswith("{")]
+        assert len(lines) == 2
+        assert '"cached": false' in lines[0]
+        assert '"cached": true' in lines[1]
+        assert "hit rate" in captured.err
+
+    def test_serve_failed_stream_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            '{"tenant": "acme", "scenario": "quickstart", '
+            '"input_gb": 64, "deadline": 2}\n'
+        )
+        assert main(
+            ["serve", "--requests-file", str(path), *SERVICE_ARGS]
+        ) == 1
+        out = capsys.readouterr().out
+        assert '"status": "failed"' in out
+
+    def test_serve_bad_line_fails(self, tmp_path, capsys):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("not json\n")
+        assert main(["serve", "--requests-file", str(path), *SERVICE_ARGS]) == 1
+        assert "bad request" in capsys.readouterr().err
+
+    def test_serve_missing_file(self, capsys):
+        assert main(
+            ["serve", "--requests-file", "/nonexistent.jsonl", *SERVICE_ARGS]
+        ) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
 class TestExport:
     def test_export_lp(self, tmp_path, capsys):
         path = tmp_path / "model.lp"

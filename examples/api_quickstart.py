@@ -1,0 +1,65 @@
+"""Public-API quickstart: declare a job, plan it, deploy it.
+
+The whole library surface in one page: build a :class:`JobSpec` (what to
+run, toward which goal, over which catalog), hand it to the
+:class:`Orchestrator`, and the system does the rest — `plan()` returns
+the LP's optimal execution plan, `deploy()` runs the deploy/monitor/
+adapt controller loop and streams every executed interval back as a
+versioned :class:`DeployEventV1`.
+
+Run with::
+
+    PYTHONPATH=src python examples/api_quickstart.py
+"""
+
+from repro.api import (
+    GoalSpec,
+    JobSpec,
+    NetworkSpec,
+    Orchestrator,
+    OrchestratorError,
+    encode,
+)
+
+
+def main() -> None:
+    # Declare the computation: the paper's k-means job, scaled down, on
+    # the public EC2+S3 catalog, cheapest plan inside a 4-hour deadline.
+    spec = JobSpec(
+        name="kmeans",
+        input_gb=8.0,
+        goal=GoalSpec(deadline_hours=4.0),
+        network=NetworkSpec(uplink_mbit_s=16.0),
+    )
+
+    orchestrator = Orchestrator()
+
+    # -- plan: spec in, execution plan out --------------------------------
+    plan = orchestrator.plan(spec)
+    print(plan.describe())
+    print(f"\npredicted cost: ${plan.predicted_cost:.2f}, "
+          f"completion {plan.predicted_completion_hours:.1f} h\n")
+
+    # -- deploy: run the controller loop, streaming interval events -------
+    # Each event is a wire-format schema object; `encode` is exactly what
+    # `repro deploy --stream` and a future HTTP transport would emit.
+    print("deployment stream:")
+    result = orchestrator.deploy(
+        spec, tenant="quickstart", on_event=lambda event: print(" ", encode(event))
+    )
+    print(f"\ndeployed: ${result.total_cost:.2f} in "
+          f"{result.completion_hours:.1f} h with {result.replans} re-plans "
+          f"({'met' if result.deadline_met else 'MISSED'} the deadline)")
+
+    # -- structured failure: no plan inside one hour ----------------------
+    try:
+        orchestrator.plan(
+            JobSpec(name="too-tight", input_gb=64.0,
+                    goal=GoalSpec(deadline_hours=1.0))
+        )
+    except OrchestratorError as exc:
+        print(f"\nas expected: [{exc.error.code}] {exc.error.message}")
+
+
+if __name__ == "__main__":
+    main()

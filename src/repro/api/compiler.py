@@ -1,0 +1,96 @@
+"""The one ``JobSpec`` -> internal-representation compiler.
+
+Every front-end (CLI, planning service, library callers, the workload
+generator) declares work as a :class:`~repro.api.schemas.JobSpec`; this
+module is the single place that turns the declaration into the planner's
+:class:`~repro.core.problem.PlanningProblem` (or, for the Section-6
+discrete simulations, a :class:`~repro.core.deployments.DeploymentScenario`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..cloud.catalog import hybrid_cloud, local_cluster, public_cloud
+from ..cloud.descriptions import load_services
+from ..core.problem import PlanningProblem
+from ..core.spot_sim import spot_services
+from .schemas import JobSpec
+
+#: Flat spot-price estimate used when a ``spot``-catalog spec names none
+#: (the workload generator's historical default).
+DEFAULT_SPOT_PRICE = 0.2
+
+
+def resolve_services(spec: JobSpec) -> list:
+    """The service catalog a spec plans over."""
+    if spec.catalog == "public":
+        return list(public_cloud())
+    if spec.catalog == "hybrid":
+        return list(hybrid_cloud(local_nodes=spec.local_nodes))
+    if spec.catalog == "spot":
+        return list(spot_services())
+    # Validated by JobSpec.__post_init__: catalog == "xml" has a path.
+    return list(load_services(spec.services_xml))
+
+
+def spot_estimates_for(spec: JobSpec, services) -> dict[str, list[float]]:
+    """Per-service flat price series ``E[b(i,t)]`` over the horizon."""
+    spot_names = [s.name for s in services if s.is_spot]
+    if not spot_names:
+        return {}
+    price = DEFAULT_SPOT_PRICE if spec.spot_price is None else spec.spot_price
+    deadline = float(spec.goal.deadline_hours or 48.0)
+    horizon = max(1, math.ceil(deadline / spec.interval_hours - 1e-9))
+    return {name: [price] * horizon for name in spot_names}
+
+
+def compile_spec(spec: JobSpec) -> PlanningProblem:
+    """Compile a declared job into the planner's input vocabulary."""
+    if not isinstance(spec, JobSpec):
+        raise TypeError(f"expected a JobSpec, got {type(spec).__name__}")
+    services = resolve_services(spec)
+    return PlanningProblem(
+        job=spec.to_planner_job(),
+        services=services,
+        network=spec.network.to_conditions(),
+        goal=spec.goal.to_goal(),
+        interval_hours=spec.interval_hours,
+        spot_price_estimates=spot_estimates_for(spec, services),
+        upload_fractions=dict(spec.upload_fractions),
+        allow_migration=spec.allow_migration,
+        constant_nodes=spec.constant_nodes,
+    )
+
+
+def scenario_for(spec: JobSpec):
+    """Compile a spec into the Section-6 discrete-deployment scenario.
+
+    Used by ``repro deploy``: the scenario drives the MapReduce substrate
+    simulation (Conductor vs. the Hadoop baselines), so only the fields
+    that substrate models are carried over.
+    """
+    from ..core.deployments import DeploymentScenario
+
+    deadline = float(spec.goal.deadline_hours or 0.0)
+    if deadline <= 0:
+        raise ValueError("deploy scenarios need a goal with a deadline")
+    return DeploymentScenario(
+        input_gb=spec.input_gb,
+        map_output_ratio=spec.map_output_ratio,
+        reduce_output_ratio=spec.reduce_output_ratio,
+        uplink_mbit_s=spec.network.uplink_mbit_s,
+        deadline_hours=deadline,
+        local=local_cluster(spec.local_nodes) if spec.local_nodes else None,
+        local_nodes=spec.local_nodes,
+        constant_node_plan=spec.constant_nodes,
+    )
+
+
+__all__ = [
+    "DEFAULT_SPOT_PRICE",
+    "compile_spec",
+    "resolve_services",
+    "scenario_for",
+    "spot_estimates_for",
+]

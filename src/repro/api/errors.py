@@ -1,0 +1,37 @@
+"""Mapping internal failures to stable, machine-readable ``ErrorV1``.
+
+The planner raises :class:`~repro.core.model_builder.PlanningError`, the
+solver pool times out, the broker rejects — clients should never have to
+parse those strings.  The service classifies each failure into one of
+:data:`~repro.api.schemas.ERROR_CODES`
+(:func:`repro.service.requests.error_code_for_exception`); this module
+wraps the classification into wire-format payloads.
+"""
+
+from __future__ import annotations
+
+from .schemas import ERROR_CODES, ErrorV1
+
+
+def error_v1_from_exception(exc: BaseException) -> ErrorV1:
+    """Wrap any exception as a structured error with a stable code."""
+    from ..service.requests import error_code_for_exception
+
+    from .schemas import SchemaError
+
+    if isinstance(exc, SchemaError):
+        code = "bad_schema"
+    else:
+        code = error_code_for_exception(exc)
+    return ErrorV1(code=code, message=str(exc) or type(exc).__name__)
+
+
+def error_v1_for_result(result) -> ErrorV1 | None:
+    """The structured error a failed :class:`PlanResult` stands for."""
+    if result.ok or not (result.error or result.error_code):
+        return None
+    code = result.error_code if result.error_code in ERROR_CODES else "internal"
+    return ErrorV1(code=code, message=result.error)
+
+
+__all__ = ["error_v1_for_result", "error_v1_from_exception"]

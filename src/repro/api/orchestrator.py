@@ -1,0 +1,332 @@
+"""The ``Orchestrator`` facade: one entry point for all work.
+
+Library users, the CLI and the wire protocol all drive the system
+through this class:
+
+- :meth:`Orchestrator.plan` — compile a :class:`JobSpec` and solve it
+  synchronously (the library quickstart path);
+- :meth:`Orchestrator.submit` — route a request through the multi-tenant
+  :class:`~repro.service.service.PlanningService` (queues, plan cache,
+  solver pool) and get an async handle;
+- :meth:`Orchestrator.deploy` — run the deploy/monitor/adapt controller
+  loop, streaming each interval as a :class:`DeployEventV1`.
+
+Failures surface as :class:`OrchestratorError` carrying a structured
+:class:`~repro.api.schemas.ErrorV1`, never a raw solver traceback.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.model_builder import PlanningError
+from ..core.plan import ExecutionPlan
+from ..core.planner import Planner
+from ..core.problem import PlanningProblem
+from ..service.broker import AdmissionError
+from ..service.requests import PlanRequest, PlanResult, SubmittedRequest
+from ..service.service import PlanningService, ServiceConfig
+from ..service.session import SessionManager
+from .compiler import compile_spec, resolve_services
+from .errors import error_v1_for_result, error_v1_from_exception
+from .schemas import (
+    DeployEventV1,
+    ErrorV1,
+    JobSpec,
+    PlanRequestV1,
+    PlanResponseV1,
+    SchemaError,
+)
+
+
+class OrchestratorError(RuntimeError):
+    """A request failed; :attr:`error` is the wire-format explanation."""
+
+    def __init__(self, error: ErrorV1) -> None:
+        super().__init__(f"{error.code}: {error.message}")
+        self.error = error
+
+
+class Orchestrator:
+    """Wraps planner, planning service and deploy sessions behind specs.
+
+    Parameters
+    ----------
+    planner:
+        The synchronous :class:`Planner` behind :meth:`plan` and the
+        controller loops (defaults to the paper's solver configuration).
+    service:
+        An existing :class:`PlanningService` to submit through.  When
+        omitted, one is created lazily from ``service_config`` on the
+        first :meth:`submit` and stopped by :meth:`close` / ``with``.
+    service_config:
+        Configuration for the lazily-created service.
+    sessions:
+        The :class:`SessionManager` tracking :meth:`deploy` runs.
+    """
+
+    def __init__(
+        self,
+        *,
+        planner: Planner | None = None,
+        service: PlanningService | None = None,
+        service_config: ServiceConfig | None = None,
+        sessions: SessionManager | None = None,
+    ) -> None:
+        self.planner = planner or Planner()
+        self.sessions = sessions or SessionManager()
+        self._service = service
+        self._service_config = service_config
+        self._owns_service = service is None
+        self._service_lock = threading.Lock()
+        #: spec cache-key -> compiled PlanningProblem.  Compilation is
+        #: deterministic for value-object specs, so repeated submits of
+        #: one spec (the warm-cache fast path) skip catalog resolution
+        #: and problem validation entirely.
+        self._compiled: dict[tuple, PlanningProblem] = {}
+        self._compiled_lock = threading.Lock()
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def service(self) -> PlanningService:
+        """The planning service, created lazily when first needed."""
+        with self._service_lock:
+            if self._service is None:
+                self._service = PlanningService(self._service_config)
+            return self._service
+
+    def close(self) -> None:
+        """Stop the service if this orchestrator created it."""
+        with self._service_lock:
+            service, owned = self._service, self._owns_service
+        if service is not None and owned:
+            service.stop()
+
+    def __enter__(self) -> "Orchestrator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- compile ----------------------------------------------------------
+
+    def compile(self, spec: JobSpec) -> PlanningProblem:
+        """The internal planning problem a spec declares.
+
+        Raises :class:`OrchestratorError` (``bad_schema`` for payloads
+        that do not name a valid spec, ``bad_request`` for specs the
+        compiler rejects, e.g. a missing catalog file).  Compiled
+        problems are memoized per spec — except for ``xml`` catalogs,
+        whose backing file may change between calls.
+        """
+        key = None
+        if isinstance(spec, JobSpec) and spec.catalog != "xml":
+            key = spec.cache_key()
+            problem = self._compiled.get(key)
+            if problem is not None:
+                return problem
+        try:
+            problem = compile_spec(spec)
+        except SchemaError as exc:
+            raise OrchestratorError(
+                ErrorV1(code="bad_schema", message=str(exc))
+            ) from exc
+        except (TypeError, ValueError, OSError) as exc:
+            raise OrchestratorError(
+                ErrorV1(code="bad_request", message=str(exc))
+            ) from exc
+        if key is not None:
+            with self._compiled_lock:
+                while len(self._compiled) >= 512:
+                    self._compiled.pop(next(iter(self._compiled)))
+                self._compiled[key] = problem
+        return problem
+
+    # -- synchronous planning ---------------------------------------------
+
+    def plan(self, spec: JobSpec) -> ExecutionPlan:
+        """Compile and solve one spec on the calling thread."""
+        problem = self.compile(spec)
+        try:
+            return self.planner.plan(problem)
+        except PlanningError as exc:
+            raise OrchestratorError(error_v1_from_exception(exc)) from exc
+
+    # -- service submission -----------------------------------------------
+
+    def submit(
+        self,
+        request: PlanRequestV1 | JobSpec,
+        *,
+        tenant: str = "default",
+        priority: int = 1,
+        deadline_s: float | None = None,
+        time_budget_s: float | None = None,
+        block: bool = False,
+    ) -> SubmittedRequest:
+        """Submit through the planning service; returns the async handle.
+
+        ``request`` is either a full wire request or a bare spec (the
+        keyword arguments then supply the scheduling metadata).  Raises
+        :class:`OrchestratorError` with code ``rejected`` when admission
+        control refuses the request.
+        """
+        if isinstance(request, JobSpec):
+            # Fast path: a bare spec skips the wire-envelope wrapper (its
+            # scheduling metadata arrives as keyword arguments instead).
+            spec = request
+        elif isinstance(request, PlanRequestV1):
+            spec = request.job
+            tenant = request.tenant
+            priority = request.priority
+            deadline_s = request.deadline_s
+            time_budget_s = request.time_budget_s
+        else:
+            raise TypeError(
+                f"expected a PlanRequestV1 or JobSpec, "
+                f"got {type(request).__name__}"
+            )
+        problem = self.compile(spec)
+        try:
+            ticket = self.service.submit_request(
+                PlanRequest(
+                    tenant=tenant,
+                    problem=problem,
+                    priority=priority,
+                    deadline_s=deadline_s,
+                    time_budget_s=time_budget_s,
+                ),
+                block=block,
+            )
+        except AdmissionError as exc:
+            raise OrchestratorError(
+                ErrorV1(code="rejected", message=str(exc))
+            ) from exc
+        return ticket
+
+    def respond(self, result: PlanResult, request_id: str = "") -> PlanResponseV1:
+        """Wrap a service result as the versioned wire response."""
+        plan = result.plan
+        return PlanResponseV1(
+            status=result.status.value,
+            tenant=result.tenant,
+            request_id=request_id,
+            cached=result.cached,
+            fingerprint=result.fingerprint,
+            predicted_cost=None if plan is None else plan.predicted_cost,
+            predicted_completion_hours=(
+                None if plan is None else plan.predicted_completion_hours
+            ),
+            peak_nodes=None if plan is None else plan.peak_nodes(),
+            solver_status="" if plan is None else plan.solver_status,
+            queue_wait_s=result.queue_wait_s,
+            solve_s=result.solve_s,
+            total_s=result.total_s,
+            error=error_v1_for_result(result),
+        )
+
+    def plan_v1(
+        self, request: PlanRequestV1, timeout: float | None = None
+    ) -> PlanResponseV1:
+        """One full request/response round-trip; never raises.
+
+        The synchronous convenience over :meth:`submit`: every failure
+        mode — admission, compile, solve, turnaround timeout — comes back
+        as a structured response, exactly as it would on the wire.
+        """
+        try:
+            ticket = self.submit(request)
+        except OrchestratorError as exc:
+            return PlanResponseV1(
+                status="rejected",
+                tenant=request.tenant,
+                request_id=request.request_id,
+                error=exc.error,
+            )
+        try:
+            result = ticket.result(timeout=timeout)
+        except TimeoutError as exc:
+            return PlanResponseV1(
+                status="failed",
+                tenant=request.tenant,
+                request_id=request.request_id,
+                error=ErrorV1(code="timeout", message=str(exc)),
+            )
+        return self.respond(result, request_id=request.request_id)
+
+    # -- deployment -------------------------------------------------------
+
+    def deploy(
+        self,
+        spec: JobSpec,
+        *,
+        tenant: str = "default",
+        actual=None,
+        on_event=None,
+        controller_config=None,
+        predictor=None,
+        trace=None,
+        trace_offset_hours: float = 0.0,
+        event_timeout: float | None = None,
+    ):
+        """Run the deploy/monitor/adapt loop for one spec to completion.
+
+        Streams each executed interval to ``on_event`` as a
+        :class:`DeployEventV1` and returns the full
+        :class:`~repro.core.controller.ControllerResult`.  ``actual``
+        injects real-world conditions (the Fig. 12 deviation experiments);
+        ``predictor``/``trace`` are required for ``spot``-catalog specs.
+        """
+        if not isinstance(spec, JobSpec):
+            raise TypeError(f"expected a JobSpec, got {type(spec).__name__}")
+        try:
+            services = resolve_services(spec)
+            goal = spec.goal.to_goal()
+            network = spec.network.to_conditions()
+        except (ValueError, OSError) as exc:
+            raise OrchestratorError(
+                ErrorV1(code="bad_request", message=str(exc))
+            ) from exc
+        problem_kwargs = {
+            "interval_hours": spec.interval_hours,
+            "constant_nodes": spec.constant_nodes,
+            "allow_migration": spec.allow_migration,
+        }
+        if spec.upload_fractions:
+            problem_kwargs["upload_fractions"] = dict(spec.upload_fractions)
+        try:
+            session = self.sessions.start(
+                tenant,
+                spec.to_planner_job(),
+                services,
+                goal,
+                network=network,
+                actual=actual,
+                planner=self.planner,
+                config=controller_config,
+                predictor=predictor,
+                trace=trace,
+                trace_offset_hours=trace_offset_hours,
+                problem_kwargs=problem_kwargs,
+            )
+        except ValueError as exc:
+            raise OrchestratorError(
+                ErrorV1(code="bad_request", message=str(exc))
+            ) from exc
+        try:
+            for outcome in session.events(timeout=event_timeout):
+                if on_event is not None:
+                    on_event(
+                        DeployEventV1.from_outcome(
+                            outcome,
+                            tenant=tenant,
+                            session_id=session.session_id,
+                        )
+                    )
+        except PlanningError as exc:
+            raise OrchestratorError(error_v1_from_exception(exc)) from exc
+        return session.wait(timeout=30.0)
+
+
+__all__ = ["Orchestrator", "OrchestratorError"]

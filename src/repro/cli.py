@@ -1,20 +1,24 @@
 """Command-line interface: ``python -m repro <command>``.
 
-A thin front-end over the library for the workflows a Conductor user
-would actually run:
+A thin front-end over the versioned public API (:mod:`repro.api`) for
+the workflows a Conductor user would actually run:
 
 - ``plan``      — print the optimal execution plan for a job;
 - ``deploy``    — run the full simulated deployment (Conductor or one of
-  the paper's baselines) and print the bill;
+  the paper's baselines); ``--stream`` runs the live controller loop and
+  emits each interval as a versioned ``deploy_event`` JSON line;
 - ``services``  — show or validate a service-description XML document;
 - ``spot``      — evaluate spot-market deployment under a predictor;
 - ``pig``       — compile a Pig-Latin script to MapReduce stages and
   plan the multi-stage deployment;
 - ``export``    — write the generated linear program to a .lp/.mps file;
 - ``serve``     — run the multi-tenant planning service over a JSON-lines
-  request stream (file or stdin);
+  request stream (file or stdin).  The wire dialect is exactly the
+  versioned API: ``plan_request`` in, ``hello`` / ``plan_response`` /
+  ``error`` out;
 - ``submit``    — submit one job through the planning service (with
-  ``--repeat`` to demonstrate the plan cache);
+  ``--repeat`` to demonstrate the plan cache, ``--json`` for the wire
+  responses);
 - ``loadgen``   — drive the service with a synthetic tenant workload and
   report throughput, cache hit rate and latency percentiles.
 
@@ -23,6 +27,7 @@ Examples::
     python -m repro plan --input-gb 32 --deadline 6
     python -m repro plan --input-gb 32 --deadline 4 --local-nodes 5
     python -m repro deploy --strategy conductor --input-gb 8 --deadline 3
+    python -m repro deploy --stream --input-gb 4 --deadline 3
     python -m repro services --emit
     python -m repro spot --trace electricity --predictor p5 --deadline 10
     python -m repro pig script.pig --input-gb 24 --deadline 10
@@ -47,13 +52,9 @@ from .cloud import (
 )
 from .core import (
     CurrentPricePredictor,
-    DeploymentScenario,
-    Goal,
-    NetworkConditions,
     OptimalPredictor,
     PlannerJob,
     WindowMaxPredictor,
-    plan_job,
     run_conductor,
     run_hadoop_direct,
     run_hadoop_s3,
@@ -69,6 +70,18 @@ _STRATEGIES = {
 }
 
 
+def package_version() -> str:
+    """The installed distribution version (falls back to the source tree)."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("conductor-repro")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
+
+
 def _add_job_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--input-gb", type=float, default=32.0,
                         help="input data size (default: the paper's 32 GB)")
@@ -80,37 +93,38 @@ def _add_job_arguments(parser: argparse.ArgumentParser) -> None:
                         help="size of the customer's own cluster (hybrid)")
 
 
-def _services_for(args) -> list:
+def _spec_for(args):
+    """The JobSpec described by the shared job arguments."""
+    from .api import GoalSpec, JobSpec, NetworkSpec
+
     if getattr(args, "services_xml", None):
-        return load_services(args.services_xml)
-    if args.local_nodes > 0:
-        return hybrid_cloud(local_nodes=args.local_nodes)
-    return public_cloud()
-
-
-def _problem_for(args):
-    """The PlanningProblem described by the shared job arguments."""
-    from .core import PlanningProblem
-
-    return PlanningProblem(
-        job=PlannerJob(name="job", input_gb=args.input_gb),
-        services=_services_for(args),
-        network=NetworkConditions.from_mbit_s(args.uplink_mbit),
-        goal=Goal.min_cost(deadline_hours=args.deadline),
+        catalog, services_xml = "xml", args.services_xml
+    elif args.local_nodes > 0:
+        catalog, services_xml = "hybrid", None
+    else:
+        catalog, services_xml = "public", None
+    return JobSpec(
+        input_gb=args.input_gb,
+        goal=GoalSpec(deadline_hours=args.deadline),
+        network=NetworkSpec(uplink_mbit_s=args.uplink_mbit),
+        catalog=catalog,
+        local_nodes=args.local_nodes,
+        services_xml=services_xml,
     )
 
 
 def cmd_plan(args) -> int:
-    job = PlannerJob(name="job", input_gb=args.input_gb)
+    from .api import Orchestrator, OrchestratorError, SchemaError
+
+    orchestrator = Orchestrator()
     try:
-        plan = plan_job(
-            job,
-            _services_for(args),
-            Goal.min_cost(deadline_hours=args.deadline),
-            network=NetworkConditions.from_mbit_s(args.uplink_mbit),
-        )
-    except Exception as exc:
-        print(f"planning failed: {exc}", file=sys.stderr)
+        plan = orchestrator.plan(_spec_for(args))
+    except SchemaError as exc:
+        print(f"bad job spec: {exc}", file=sys.stderr)
+        return 2
+    except OrchestratorError as exc:
+        print(f"planning failed [{exc.error.code}]: {exc.error.message}",
+              file=sys.stderr)
         return 1
     print(plan.describe())
     print(f"\npredicted cost:  ${plan.predicted_cost:.2f}")
@@ -121,16 +135,45 @@ def cmd_plan(args) -> int:
     return 0
 
 
-def cmd_deploy(args) -> int:
-    from .cloud import local_cluster
+def _cmd_deploy_stream(args) -> int:
+    """Live controller deployment, streaming versioned deploy events."""
+    from .api import Orchestrator, OrchestratorError, SchemaError, encode
 
-    scenario = DeploymentScenario(
-        input_gb=args.input_gb,
-        deadline_hours=args.deadline,
-        uplink_mbit_s=args.uplink_mbit,
-        local=local_cluster(args.local_nodes) if args.local_nodes else None,
-        local_nodes=args.local_nodes,
-    )
+    orchestrator = Orchestrator()
+    try:
+        result = orchestrator.deploy(
+            _spec_for(args), on_event=lambda event: print(encode(event))
+        )
+    except SchemaError as exc:
+        print(f"bad job spec: {exc}", file=sys.stderr)
+        return 2
+    except OrchestratorError as exc:
+        print(f"deployment failed [{exc.error.code}]: {exc.error.message}",
+              file=sys.stderr)
+        return 1
+    print(f"deployed: ${result.total_cost:.2f}, "
+          f"{result.completion_hours:.2f} h, {result.replans} re-plans "
+          f"({'met' if result.deadline_met else 'MISSED'} the deadline)")
+    return 0
+
+
+def cmd_deploy(args) -> int:
+    from .api import SchemaError, scenario_for
+
+    if args.stream:
+        # The stream runs the live controller loop — Conductor itself —
+        # so a baseline strategy or node-count override cannot apply.
+        if args.strategy != "conductor" or args.nodes != 16:
+            print("--stream runs the Conductor controller loop; "
+                  "it cannot be combined with --strategy/--nodes",
+                  file=sys.stderr)
+            return 2
+        return _cmd_deploy_stream(args)
+    try:
+        scenario = scenario_for(_spec_for(args))
+    except (SchemaError, ValueError) as exc:
+        print(f"bad job spec: {exc}", file=sys.stderr)
+        return 2
     strategy = _STRATEGIES[args.strategy]
     kwargs = {} if args.strategy == "conductor" else {"nodes": args.nodes}
     result = strategy(scenario, **kwargs)
@@ -195,8 +238,9 @@ def cmd_spot(args) -> int:
 
 
 def cmd_pig(args) -> int:
+    from .api import GoalSpec, NetworkSpec, from_pig, resolve_services
     from .core import plan_pipeline
-    from .pig import PlanError, ParseError, compile_script
+    from .pig import ParseError, PlanError, compile_script
 
     try:
         with open(args.script, encoding="utf-8") as handle:
@@ -211,9 +255,15 @@ def cmd_pig(args) -> int:
         return 1
     print(pipeline.describe())
     print(f"\npipeline depth: {pipeline.depth}")
-    loads = pipeline.plan.loads
-    input_gb = {load.path: args.input_gb / len(loads) for load in loads}
-    jobs = pipeline.to_planner_jobs(input_gb)
+    specs = from_pig(
+        source,
+        input_gb=args.input_gb,
+        goal=GoalSpec(deadline_hours=args.deadline),
+        network=NetworkSpec(uplink_mbit_s=args.uplink_mbit),
+        catalog="hybrid" if args.local_nodes > 0 else "public",
+        local_nodes=args.local_nodes,
+    )
+    jobs = [spec.to_planner_job() for spec in specs]
     if args.compile_only:
         for job in jobs:
             print(f"  {job.name}: in={job.input_gb:.2f} GB "
@@ -223,9 +273,9 @@ def cmd_pig(args) -> int:
     try:
         plan = plan_pipeline(
             jobs,
-            _services_for(args),
-            Goal.min_cost(deadline_hours=args.deadline),
-            NetworkConditions.from_mbit_s(args.uplink_mbit),
+            resolve_services(specs[0]),
+            specs[0].goal.to_goal(),
+            specs[0].network.to_conditions(),
         )
     except Exception as exc:
         print(f"planning failed: {exc}", file=sys.stderr)
@@ -236,12 +286,13 @@ def cmd_pig(args) -> int:
 
 
 def cmd_export(args) -> int:
+    from .api import Orchestrator, OrchestratorError, SchemaError
     from .core import build_model
     from .lp import save
 
     try:
-        built = build_model(_problem_for(args))
-    except Exception as exc:
+        built = build_model(Orchestrator().compile(_spec_for(args)))
+    except (SchemaError, OrchestratorError) as exc:
         print(f"bad problem: {exc}", file=sys.stderr)
         return 1
     try:
@@ -267,10 +318,11 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
                         help="solver cut-off ceiling in seconds")
 
 
-def _service_for(args):
-    from .service import PlanningService, ServiceConfig
+def _orchestrator_for(args):
+    from .api import Orchestrator
+    from .service import ServiceConfig
 
-    return PlanningService(ServiceConfig(
+    return Orchestrator(service_config=ServiceConfig(
         max_workers=args.workers,
         pool_mode=args.pool,
         cache_capacity=args.cache_capacity,
@@ -278,43 +330,32 @@ def _service_for(args):
     ))
 
 
-def _result_json(result) -> str:
-    import json
-
-    payload = {
-        "request_id": result.request_id,
-        "tenant": result.tenant,
-        "status": result.status.value,
-        "cached": result.cached,
-        "queue_wait_s": round(result.queue_wait_s, 4),
-        "solve_s": round(result.solve_s, 4),
-        "total_s": round(result.total_s, 4),
-    }
-    if result.plan is not None:
-        payload["predicted_cost"] = round(result.plan.predicted_cost, 4)
-        payload["predicted_completion_hours"] = round(
-            result.plan.predicted_completion_hours, 3
-        )
-        payload["peak_nodes"] = result.plan.peak_nodes()
-    if result.error:
-        payload["error"] = result.error
-    return json.dumps(payload)
-
-
 def cmd_serve(args) -> int:
     """Process a JSON-lines request stream through the planning service.
 
-    Each input line describes one request, e.g.::
+    The protocol *is* the versioned API: the service greets with a
+    ``hello`` line (build + schema version), each input line must decode
+    to a ``plan_request`` payload, and every outcome comes back as a
+    ``plan_response`` (or a bare ``error`` for lines that decode to
+    nothing), in submission order.  An unknown ``schema_version`` yields
+    a structured ``bad_schema`` error, never a traceback.  The metrics
+    summary goes to stderr.
 
-        {"tenant": "acme", "scenario": "quickstart", "input_gb": 16,
-         "deadline": 6, "priority": 1}
+    Example request line::
 
-    Results are emitted as JSON lines on stdout (submission order);
-    the metrics summary goes to stderr.
+        {"schema_version": 1, "kind": "plan_request", "tenant": "acme",
+         "job": {"input_gb": 16, "goal": {"deadline_hours": 6}}}
     """
-    import json
-
-    from .service import AdmissionError, PlanRequest, problem_for_scenario
+    from .api import (
+        ErrorV1,
+        HelloV1,
+        OrchestratorError,
+        PlanRequestV1,
+        PlanResponseV1,
+        SchemaError,
+        decode,
+        encode,
+    )
 
     if args.requests_file:
         try:
@@ -324,51 +365,50 @@ def cmd_serve(args) -> int:
             return 1
     else:
         handle = sys.stdin
-    service = _service_for(args)
+    orchestrator = _orchestrator_for(args)
     exit_code = 0
-    with service:
-        tickets = []
+    print(encode(HelloV1(version=package_version())))
+    with orchestrator:
+        entries = []
         try:
             for lineno, line in enumerate(handle, 1):
                 line = line.strip()
                 if not line or line.startswith("#"):
                     continue
                 try:
-                    spec = json.loads(line)
-                    if not isinstance(spec, dict):
-                        raise ValueError("request must be a JSON object")
-                    problem = problem_for_scenario(
-                        spec.get("scenario", "quickstart"),
-                        input_gb=float(spec.get("input_gb", 16.0)),
-                        deadline_hours=float(spec.get("deadline", 6.0)),
-                        uplink_mbit=float(spec.get("uplink_mbit", 16.0)),
-                        local_nodes=int(spec.get("local_nodes", 5)),
-                        spot_price=float(spec.get("spot_price", 0.2)),
-                    )
-                    request = PlanRequest(
-                        tenant=str(spec.get("tenant", "default")),
-                        problem=problem,
-                        priority=int(spec.get("priority", 1)),
-                        deadline_s=spec.get("deadline_s"),
-                        time_budget_s=spec.get("time_budget_s"),
-                    )
-                except (ValueError, KeyError, TypeError) as exc:
-                    print(f"line {lineno}: bad request: {exc}", file=sys.stderr)
+                    request = decode(line)
+                except SchemaError as exc:
+                    print(encode(ErrorV1(
+                        code="bad_schema",
+                        message=str(exc),
+                        details={"line": str(lineno)},
+                    )))
+                    exit_code = 1
+                    continue
+                if not isinstance(request, PlanRequestV1):
+                    print(encode(ErrorV1(
+                        code="bad_schema",
+                        message=f"expected kind 'plan_request', "
+                        f"got {request.KIND!r}",
+                        details={"line": str(lineno)},
+                    )))
                     exit_code = 1
                     continue
                 try:
                     # A batch stream applies backpressure on a full
                     # backlog rather than dropping the tail.
-                    tickets.append(service.submit_request(request, block=True))
-                except AdmissionError as exc:
-                    # Keep stdout line-parseable: rejections get a result
-                    # record too, not just a stderr note.
-                    print(json.dumps({
-                        "line": lineno,
-                        "tenant": request.tenant,
-                        "status": "rejected",
-                        "error": str(exc),
-                    }))
+                    entries.append(
+                        (request, orchestrator.submit(request, block=True))
+                    )
+                except OrchestratorError as exc:
+                    # Keep stdout line-parseable: rejections get a
+                    # response record too, not just a stderr note.
+                    print(encode(PlanResponseV1(
+                        status="rejected",
+                        tenant=request.tenant,
+                        request_id=request.request_id,
+                        error=exc.error,
+                    )))
                     exit_code = 1
         finally:
             if handle is not sys.stdin:
@@ -376,56 +416,87 @@ def cmd_serve(args) -> int:
         # A ticket's turnaround includes time queued behind every other
         # admitted request, so the wait bound covers the whole stream,
         # not one solve.
-        stream_timeout = args.time_limit * max(1, len(tickets)) + 60.0
-        for ticket in tickets:
+        stream_timeout = args.time_limit * max(1, len(entries)) + 60.0
+        for request, ticket in entries:
             try:
                 result = ticket.result(timeout=stream_timeout)
             except TimeoutError as exc:
                 # Keep reporting the rest: their solves may have finished.
-                print(json.dumps({
-                    "request_id": ticket.request_id,
-                    "tenant": ticket.tenant,
-                    "status": "timeout",
-                    "error": str(exc),
-                }))
+                print(encode(PlanResponseV1(
+                    status="failed",
+                    tenant=request.tenant,
+                    request_id=request.request_id,
+                    error=ErrorV1(code="timeout", message=str(exc)),
+                )))
                 exit_code = 1
                 continue
             if not result.ok:
                 # A scripted caller must see failed/expired streams in the
                 # exit code, not just in the per-line status field.
                 exit_code = 1
-            print(_result_json(result))
-        print(service.metrics.describe(), file=sys.stderr)
+            print(encode(
+                orchestrator.respond(result, request_id=request.request_id)
+            ))
+        print(orchestrator.service.metrics.describe(), file=sys.stderr)
     return exit_code
 
 
 def cmd_submit(args) -> int:
+    from .api import (
+        Orchestrator,
+        OrchestratorError,
+        PlanRequestV1,
+        SchemaError,
+        encode,
+    )
+    from .service import ServiceConfig
+
     try:
-        problem = _problem_for(args)
-    except Exception as exc:
-        print(f"bad problem: {exc}", file=sys.stderr)
+        request = PlanRequestV1(
+            job=_spec_for(args), tenant=args.tenant, priority=args.priority
+        )
+    except SchemaError as exc:
+        print(f"bad job spec: {exc}", file=sys.stderr)
         return 1
-    service = _service_for(args)
-    with service:
-        results = []
+    responses = []
+    with Orchestrator(service_config=ServiceConfig(
+        max_workers=args.workers,
+        pool_mode=args.pool,
+        cache_capacity=args.cache_capacity,
+        solver_time_limit_s=args.time_limit,
+    )) as orchestrator:
+        first_plan = None
         for _ in range(max(1, args.repeat)):
-            ticket = service.submit(
-                problem, tenant=args.tenant, priority=args.priority
-            )
             try:
-                results.append(ticket.result(timeout=args.time_limit + 60.0))
+                ticket = orchestrator.submit(request)
+                result = ticket.result(timeout=args.time_limit + 60.0)
+            except OrchestratorError as exc:
+                print(f"planning failed [{exc.error.code}]: "
+                      f"{exc.error.message}", file=sys.stderr)
+                return 1
             except TimeoutError as exc:
                 print(f"planning timed out: {exc}", file=sys.stderr)
                 return 1
-    first = results[0]
+            if first_plan is None:
+                first_plan = result.plan
+            responses.append(orchestrator.respond(result))
+    if args.json:
+        for response in responses:
+            print(encode(response))
+        return 0 if all(r.ok for r in responses) else 1
+    first = responses[0]
     if not first.ok:
-        print(f"planning failed: {first.error}", file=sys.stderr)
+        error = first.error
+        code = error.code if error else first.status
+        message = error.message if error else first.status
+        print(f"planning failed [{code}]: {message}", file=sys.stderr)
         return 1
-    print(first.plan.describe())
-    print(f"\npredicted cost:  ${first.plan.predicted_cost:.2f}")
-    for index, result in enumerate(results):
-        source = "cache" if result.cached else "solver"
-        print(f"request {index + 1}: {result.total_s * 1e3:8.1f} ms via {source}")
+    print(first_plan.describe())
+    print(f"\npredicted cost:  ${first.predicted_cost:.2f}")
+    for index, response in enumerate(responses):
+        source = "cache" if response.cached else "solver"
+        print(f"request {index + 1}: {response.total_s * 1e3:8.1f} ms "
+              f"via {source}")
     return 0
 
 
@@ -441,11 +512,13 @@ def cmd_loadgen(args) -> int:
     except ValueError as exc:
         print(f"bad workload: {exc}", file=sys.stderr)
         return 2
-    service = _service_for(args)
-    with service:
+    orchestrator = _orchestrator_for(args)
+    with orchestrator:
+        service = orchestrator.service
         start = _time.perf_counter()
         results, rejected = run_workload(service, requests)
         elapsed = _time.perf_counter() - start
+        metrics = service.metrics.describe()
     completed = sum(1 for r in results if r.ok)
     failed = sum(1 for r in results if r.status.value == "failed")
     rate = len(results) / elapsed if elapsed > 0 else 0.0
@@ -454,15 +527,22 @@ def cmd_loadgen(args) -> int:
     print(f"throughput:  {rate:.2f} requests/s "
           f"({elapsed:.2f} s wall, {completed} ok, {failed} failed, "
           f"{rejected} rejected at admission)")
-    print(service.metrics.describe())
+    print(metrics)
     return 0 if completed > 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .api import SCHEMA_VERSION
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Conductor (NSDI 2012) reproduction — plan and deploy "
         "MapReduce jobs across cloud services",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {package_version()} (api schema v{SCHEMA_VERSION})",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -476,6 +556,9 @@ def build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--strategy", choices=sorted(_STRATEGIES), default="conductor")
     deploy.add_argument("--nodes", type=int, default=16,
                         help="node count for the Hadoop baselines")
+    deploy.add_argument("--stream", action="store_true",
+                        help="run the live controller loop and stream "
+                        "deploy_event JSON lines")
     deploy.set_defaults(handler=cmd_deploy)
 
     services = commands.add_parser("services", help="emit/validate service XML")
@@ -527,6 +610,8 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--priority", type=int, default=1)
     submit.add_argument("--repeat", type=int, default=1,
                         help="submit the same request N times (cache demo)")
+    submit.add_argument("--json", action="store_true",
+                        help="emit versioned plan_response JSON lines")
     _add_service_arguments(submit)
     submit.set_defaults(handler=cmd_submit)
 

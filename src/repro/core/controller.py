@@ -272,7 +272,9 @@ class JobController:
             except PlanningError as exc:
                 last_error = exc
         raise PlanningError(
-            f"no feasible plan within {self.config.max_horizon_factor}x deadline"
+            f"no feasible plan within {self.config.max_horizon_factor}x deadline",
+            status="infeasible",
+            budgeted=self.goal.budget_usd is not None,
         ) from last_error
 
     def _spot_estimates(self, state: SystemState, horizon: int) -> dict:

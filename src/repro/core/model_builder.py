@@ -46,7 +46,26 @@ _FLOW_TIEBREAK = 1e-9
 
 
 class PlanningError(RuntimeError):
-    """The problem cannot be planned (infeasible or solver failure)."""
+    """The problem cannot be planned (infeasible or solver failure).
+
+    ``status`` carries the solver's verdict (``infeasible``, ``error``,
+    ...) and ``budgeted`` whether the goal carried a budget constraint —
+    together they let the public API map the failure to a stable error
+    code (``infeasible`` vs. ``budget_exceeded``) without string-parsing.
+    """
+
+    def __init__(
+        self, message: str, status: str = "", budgeted: bool = False
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.budgeted = budgeted
+
+    def __reduce__(self):
+        # Exceptions pickle via ``args`` by default, which would drop the
+        # keyword state when a process-pool worker ships one back.
+        message = self.args[0] if self.args else ""
+        return (type(self), (message, self.status, self.budgeted))
 
 
 @dataclass
@@ -88,7 +107,9 @@ class BuiltModel:
         if not solution.status.has_solution:
             raise PlanningError(
                 f"no solution to extract (status={solution.status.value}: "
-                f"{solution.message})"
+                f"{solution.message})",
+                status=solution.status.value,
+                budgeted=self.problem.goal.budget_usd is not None,
             )
         problem = self.problem
         delta = problem.interval_hours

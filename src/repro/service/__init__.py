@@ -25,7 +25,13 @@ from .cache import CacheStats, LRUCache
 from .fingerprint import canonical_payload, problem_fingerprint
 from .metrics import LatencySeries, ServiceMetrics, percentile
 from .pool import SolverPool, solve_problem
-from .requests import PlanRequest, PlanResult, RequestStatus, SubmittedRequest
+from .requests import (
+    PlanRequest,
+    PlanResult,
+    RequestStatus,
+    SubmittedRequest,
+    error_code_for_exception,
+)
 from .service import PlanningService, ServiceConfig
 from .session import DeploySession, SessionManager
 from .workload import (
@@ -55,6 +61,7 @@ __all__ = [
     "SolverPool",
     "SubmittedRequest",
     "canonical_payload",
+    "error_code_for_exception",
     "generate_workload",
     "percentile",
     "problem_fingerprint",

@@ -56,7 +56,9 @@ def _solve_built(
     if not solution.status.has_solution:
         raise PlanningError(
             f"planning failed for {problem.job.name!r}: "
-            f"{solution.status.value} ({solution.message})"
+            f"{solution.status.value} ({solution.message})",
+            status=solution.status.value,
+            budgeted=problem.goal.budget_usd is not None,
         )
     return built.extract_plan(solution)
 

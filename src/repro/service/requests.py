@@ -18,6 +18,37 @@ from ..core.plan import ExecutionPlan
 from ..core.problem import PlanningProblem
 
 
+def error_code_for_exception(exc: BaseException) -> str:
+    """Classify a failure into a stable public error code.
+
+    The codes are part of the versioned API (``repro.api.ERROR_CODES``):
+    ``infeasible`` / ``budget_exceeded`` for problems with no acceptable
+    deployment, ``timeout`` for turnaround/solver waits, ``rejected`` for
+    admission refusals, ``solver_error`` for backend failures on valid
+    models, ``bad_request`` for malformed problems, ``internal`` for
+    everything else.  Classification uses the exception's structured
+    state (:class:`PlanningError.status`), never string parsing.
+    """
+    from ..core.model_builder import PlanningError
+    from ..lp.model import SolverError
+    from .broker import AdmissionError
+
+    if isinstance(exc, PlanningError):
+        status = exc.status
+        if status in ("infeasible", "unbounded"):
+            return "budget_exceeded" if exc.budgeted else "infeasible"
+        return "solver_error"
+    if isinstance(exc, SolverError):
+        return "solver_error"
+    if isinstance(exc, AdmissionError):
+        return "rejected"
+    if isinstance(exc, TimeoutError):
+        return "timeout"
+    if isinstance(exc, (ValueError, TypeError, KeyError)):
+        return "bad_request"
+    return "internal"
+
+
 class RequestStatus(enum.Enum):
     """Lifecycle of a submitted request."""
 
@@ -83,6 +114,9 @@ class PlanResult:
     status: RequestStatus
     plan: ExecutionPlan | None = None
     error: str = ""
+    #: Stable machine-readable code for ``error`` (one of the public
+    #: API's ``ERROR_CODES``); empty when the request succeeded.
+    error_code: str = ""
     #: True when the plan was served from the plan cache (including
     #: requests coalesced onto another tenant's identical in-flight solve).
     cached: bool = False

@@ -31,7 +31,13 @@ from .cache import LRUCache
 from .fingerprint import problem_fingerprint
 from .metrics import ServiceMetrics
 from .pool import SolverPool
-from .requests import PlanRequest, PlanResult, RequestStatus, SubmittedRequest
+from .requests import (
+    PlanRequest,
+    PlanResult,
+    RequestStatus,
+    SubmittedRequest,
+    error_code_for_exception,
+)
 
 __all__ = ["AdmissionError", "PlanningService", "ServiceConfig"]
 
@@ -119,6 +125,7 @@ class PlanningService:
                 ticket,
                 RequestStatus.REJECTED,
                 error="service stopped",
+                error_code="rejected",
             )
             self.metrics.record_rejected()
         if self._dispatcher is not None:
@@ -211,7 +218,12 @@ class PlanningService:
             try:
                 self._dispatch(ticket)
             except Exception as exc:  # pragma: no cover - defensive
-                self._finish(ticket, RequestStatus.FAILED, error=str(exc))
+                self._finish(
+                    ticket,
+                    RequestStatus.FAILED,
+                    error=str(exc),
+                    error_code=error_code_for_exception(exc),
+                )
                 self.metrics.record_failure()
 
     def _dispatch(self, ticket: SubmittedRequest) -> None:
@@ -226,6 +238,7 @@ class PlanningService:
                 RequestStatus.EXPIRED,
                 error=f"turnaround deadline of {ticket.request.deadline_s}s "
                 f"expired after {queue_wait:.2f}s in queue",
+                error_code="expired",
                 queue_wait_s=queue_wait,
             )
             self.metrics.record_expired()
@@ -284,7 +297,10 @@ class PlanningService:
                 with self._inflight_lock:
                     self._inflight.pop(ticket.fingerprint, None)
                 self._finish(
-                    ticket, RequestStatus.REJECTED, error="service stopped"
+                    ticket,
+                    RequestStatus.REJECTED,
+                    error="service stopped",
+                    error_code="rejected",
                 )
                 self.metrics.record_rejected()
                 return
@@ -302,6 +318,7 @@ class PlanningService:
                 RequestStatus.EXPIRED,
                 error="turnaround deadline expired while waiting for a "
                 "solver slot",
+                error_code="expired",
             )
             self.metrics.record_expired()
             self._slots.release()
@@ -327,8 +344,12 @@ class PlanningService:
                 waiters = self._inflight.pop(ticket.fingerprint, [])
                 self._inflight_budgeted.discard(ticket.fingerprint)
             message = f"{type(exc).__name__}: {exc}"
+            code = error_code_for_exception(exc)
             for stranded in (ticket, *waiters):
-                self._finish(stranded, RequestStatus.FAILED, error=message)
+                self._finish(
+                    stranded, RequestStatus.FAILED,
+                    error=message, error_code=code,
+                )
                 self.metrics.record_failure()
             return
         future.add_done_callback(lambda fut: self._on_solved(ticket, fut))
@@ -340,7 +361,12 @@ class PlanningService:
             try:
                 self.broker.submit(ticket)
             except AdmissionError as exc:
-                self._finish(ticket, RequestStatus.REJECTED, error=str(exc))
+                self._finish(
+                    ticket,
+                    RequestStatus.REJECTED,
+                    error=str(exc),
+                    error_code="rejected",
+                )
                 self.metrics.record_rejected()
 
     def _on_solved(self, primary: SubmittedRequest, future) -> None:
@@ -366,10 +392,12 @@ class PlanningService:
             self._inflight_budgeted.discard(primary.fingerprint)
         if error is not None:
             message = f"{type(error).__name__}: {error}"
+            code = error_code_for_exception(error)
             self._finish(
                 primary,
                 RequestStatus.FAILED,
                 error=message,
+                error_code=code,
                 queue_wait_s=queue_wait,
                 solve_s=solve_s,
             )
@@ -380,7 +408,10 @@ class PlanningService:
                 self._requeue(waiters)
             else:
                 for ticket in waiters:
-                    self._finish(ticket, RequestStatus.FAILED, error=message)
+                    self._finish(
+                        ticket, RequestStatus.FAILED,
+                        error=message, error_code=code,
+                    )
                     self.metrics.record_failure()
             return
 
@@ -413,6 +444,7 @@ class PlanningService:
                     RequestStatus.EXPIRED,
                     error="turnaround deadline expired during the "
                     "coalesced solve",
+                    error_code="expired",
                 )
                 self.metrics.record_expired()
                 continue
@@ -438,6 +470,7 @@ class PlanningService:
         status: RequestStatus,
         plan: ExecutionPlan | None = None,
         error: str = "",
+        error_code: str = "",
         cached: bool = False,
         queue_wait_s: float = 0.0,
         solve_s: float = 0.0,
@@ -449,6 +482,7 @@ class PlanningService:
                 status=status,
                 plan=plan,
                 error=error,
+                error_code=error_code,
                 cached=cached,
                 fingerprint=ticket.fingerprint,
                 queue_wait_s=queue_wait_s,

@@ -1,33 +1,26 @@
 """Synthetic multi-tenant workloads for the planning service.
 
-Mixes the repo's example scenarios into a stream of tenant requests:
-
-- ``quickstart`` — the paper's public-cloud k-means planning problem;
-- ``hybrid``     — public cloud plus the customer's own cluster;
-- ``spot``       — spot-market compute with estimated prices in the
-  objective;
-- ``pig``        — stages of a compiled Pig-Latin pipeline.
-
-Parameters are drawn from small discrete grids, which is what real
-planning traffic looks like (catalogs and deadlines are shared across an
-organization's jobs) and what makes the plan cache earn its keep: a
-64-request workload only contains a few dozen *distinct* problems.
-Generation is deterministic in the seed.
+Mixes the repo's example scenarios into a stream of tenant requests.
+Since the public-API redesign the scenario vocabulary lives in
+:func:`repro.api.adapters.from_workload`; this module draws scenario
+parameters from small discrete grids and compiles each draw through the
+one ``JobSpec`` -> ``PlanningProblem`` compiler.  Small grids are what
+real planning traffic looks like (catalogs and deadlines are shared
+across an organization's jobs) and what makes the plan cache earn its
+keep: a 64-request workload only contains a few dozen *distinct*
+problems.  Generation is deterministic in the seed.
 """
 
 from __future__ import annotations
 
 import random
-from functools import lru_cache
 from typing import Mapping, Sequence
 
-from ..cloud.catalog import hybrid_cloud, public_cloud
-from ..core.problem import Goal, NetworkConditions, PlannerJob, PlanningProblem
-from ..core.spot_sim import spot_services
+from ..api.adapters import SCENARIOS, from_workload
+from ..api.compiler import compile_spec
+from ..core.problem import PlanningProblem
 from ..units import mb_s_to_gb_h, mbit_s_to_mb_s
 from .requests import PlanRequest
-
-SCENARIOS = ("quickstart", "hybrid", "spot", "pig")
 
 #: Default scenario mix (weights; normalized at draw time).
 DEFAULT_MIX: Mapping[str, float] = {
@@ -44,25 +37,6 @@ UPLINK_GRID = (16.0, 32.0)
 LOCAL_NODES_GRID = (3, 5)
 SPOT_PRICE_GRID = (0.15, 0.25)
 
-#: Clickstream rollup used by the ``pig`` scenario (examples/pig_pipeline).
-PIG_SCRIPT = (
-    "clicks = LOAD 'clicks' AS (url:chararray, site:chararray, ms:int);\n"
-    "ok     = FILTER clicks BY ms >= 0;\n"
-    "bysite = GROUP ok BY site;\n"
-    "rollup = FOREACH bysite GENERATE group, COUNT(ok) AS hits;\n"
-    "STORE rollup INTO 'hot-sites';\n"
-)
-
-@lru_cache(maxsize=64)
-def _pig_stage_jobs(input_gb: float) -> tuple[PlannerJob, ...]:
-    """Planner jobs for the canned Pig pipeline (compiled once per size)."""
-    from ..pig import compile_script
-
-    pipeline = compile_script(PIG_SCRIPT)
-    loads = pipeline.plan.loads
-    per_load = {load.path: input_gb / len(loads) for load in loads}
-    return tuple(pipeline.to_planner_jobs(per_load))
-
 
 def problem_for_scenario(
     scenario: str,
@@ -74,46 +48,22 @@ def problem_for_scenario(
     spot_price: float = 0.2,
     stage: int = 0,
 ) -> PlanningProblem:
-    """Build the planning problem one scenario request stands for."""
-    network = NetworkConditions.from_mbit_s(uplink_mbit)
-    goal = Goal.min_cost(deadline_hours=deadline_hours)
-    if scenario == "quickstart":
-        return PlanningProblem(
-            job=PlannerJob(name="kmeans", input_gb=input_gb),
-            services=public_cloud(),
-            network=network,
-            goal=goal,
-        )
-    if scenario == "hybrid":
-        return PlanningProblem(
-            job=PlannerJob(name="kmeans", input_gb=input_gb),
-            services=hybrid_cloud(local_nodes=local_nodes),
-            network=network,
-            goal=goal,
-        )
-    if scenario == "spot":
-        services = spot_services()
-        horizon = max(1, int(deadline_hours))
-        estimates = {
-            s.name: [spot_price] * horizon for s in services if s.is_spot
-        }
-        return PlanningProblem(
-            job=PlannerJob(name="kmeans", input_gb=input_gb),
-            services=services,
-            network=network,
-            goal=goal,
-            spot_price_estimates=estimates,
-        )
-    if scenario == "pig":
-        jobs = _pig_stage_jobs(input_gb)
-        job = jobs[stage % len(jobs)]
-        return PlanningProblem(
-            job=job,
-            services=public_cloud(),
-            network=network,
-            goal=goal,
-        )
-    raise ValueError(f"unknown scenario {scenario!r}; pick one of {SCENARIOS}")
+    """Build the planning problem one scenario request stands for.
+
+    Thin compatibility wrapper: the scenario is adapted to a
+    :class:`~repro.api.schemas.JobSpec` and compiled like any other
+    API request.
+    """
+    spec = from_workload(
+        scenario,
+        input_gb=input_gb,
+        deadline_hours=deadline_hours,
+        uplink_mbit=uplink_mbit,
+        local_nodes=local_nodes,
+        spot_price=spot_price,
+        stage=stage,
+    )
+    return compile_spec(spec)
 
 
 def generate_workload(
@@ -194,6 +144,7 @@ def run_workload(
                     tenant=handle.tenant,
                     status=RequestStatus.FAILED,
                     error=f"client wait timed out: {exc}",
+                    error_code="timeout",
                     fingerprint=handle.fingerprint,
                 )
             )

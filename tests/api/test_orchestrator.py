@@ -1,0 +1,181 @@
+"""The Orchestrator facade: plan / submit / deploy / structured errors."""
+
+import pytest
+
+from repro.api import (
+    DeployEventV1,
+    ErrorV1,
+    GoalSpec,
+    JobSpec,
+    Orchestrator,
+    OrchestratorError,
+    PlanRequestV1,
+    decode,
+    encode,
+    error_v1_from_exception,
+)
+from repro.service import ServiceConfig
+
+INLINE = ServiceConfig(pool_mode="inline", max_workers=1)
+
+SPEC = JobSpec(input_gb=4.0, goal=GoalSpec(deadline_hours=3.0))
+INFEASIBLE = JobSpec(input_gb=64.0, goal=GoalSpec(deadline_hours=2.0))
+
+
+class TestPlan:
+    def test_plan_solves_a_spec(self):
+        plan = Orchestrator().plan(SPEC)
+        assert plan.solver_status == "optimal"
+        assert plan.predicted_cost > 0
+
+    def test_plan_matches_direct_planner(self):
+        """The facade adds declaration, not a different optimum."""
+        from repro.core import Planner
+
+        orchestrator = Orchestrator()
+        direct = Planner().plan(orchestrator.compile(SPEC))
+        via_api = orchestrator.plan(SPEC)
+        assert via_api.predicted_cost == pytest.approx(direct.predicted_cost)
+
+    def test_infeasible_spec_raises_structured_error(self):
+        with pytest.raises(OrchestratorError) as excinfo:
+            Orchestrator().plan(INFEASIBLE)
+        assert excinfo.value.error.code == "infeasible"
+
+    def test_budget_goal_maps_to_budget_exceeded(self):
+        spec = JobSpec(
+            input_gb=8.0,
+            goal=GoalSpec(objective="minimize-time", budget_usd=0.01,
+                          deadline_hours=4.0),
+        )
+        with pytest.raises(OrchestratorError) as excinfo:
+            Orchestrator().plan(spec)
+        assert excinfo.value.error.code == "budget_exceeded"
+
+    def test_missing_catalog_file_is_bad_request(self):
+        spec = JobSpec(catalog="xml", services_xml="/nonexistent.xml")
+        with pytest.raises(OrchestratorError) as excinfo:
+            Orchestrator().plan(spec)
+        assert excinfo.value.error.code == "bad_request"
+
+
+class TestSubmit:
+    def test_submit_and_cache_hit(self):
+        with Orchestrator(service_config=INLINE) as orchestrator:
+            first = orchestrator.submit(SPEC).result(timeout=120.0)
+            second = orchestrator.submit(SPEC).result(timeout=120.0)
+        assert first.ok and not first.cached
+        assert second.ok and second.cached
+        assert first.error_code == ""
+
+    def test_plan_v1_round_trip(self):
+        request = PlanRequestV1(job=SPEC, tenant="acme", request_id="r-1")
+        with Orchestrator(service_config=INLINE) as orchestrator:
+            response = orchestrator.plan_v1(request, timeout=120.0)
+        assert response.ok
+        assert response.status == "completed"
+        assert response.tenant == "acme"
+        assert response.request_id == "r-1"
+        assert response.predicted_cost > 0
+        assert response.peak_nodes >= 1
+        assert response.solver_status == "optimal"
+        assert decode(encode(response)) == response
+
+    def test_failed_solve_carries_stable_code(self):
+        """Satellite fix: no more stringified-exception-only errors."""
+        request = PlanRequestV1(job=INFEASIBLE, tenant="acme")
+        with Orchestrator(service_config=INLINE) as orchestrator:
+            response = orchestrator.plan_v1(request, timeout=120.0)
+        assert response.status == "failed"
+        assert isinstance(response.error, ErrorV1)
+        assert response.error.code == "infeasible"
+        assert decode(encode(response)) == response
+
+    def test_result_error_code_populated_by_service(self):
+        with Orchestrator(service_config=INLINE) as orchestrator:
+            result = orchestrator.submit(INFEASIBLE).result(timeout=120.0)
+        assert result.status.value == "failed"
+        assert result.error_code == "infeasible"
+        assert "infeasible" in result.error
+
+    def test_shared_external_service(self):
+        """An orchestrator wrapping a caller-owned service must not stop it."""
+        from repro.service import PlanningService
+
+        service = PlanningService(INLINE)
+        with service:
+            orchestrator = Orchestrator(service=service)
+            result = orchestrator.submit(SPEC).result(timeout=120.0)
+            assert result.ok
+            orchestrator.close()
+            # Still usable: close() must not have stopped the service.
+            assert orchestrator.submit(SPEC).result(timeout=120.0).ok
+
+    def test_submit_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="JobSpec"):
+            Orchestrator(service_config=INLINE).submit("a string")
+
+
+class TestDeploy:
+    def test_deploy_streams_versioned_events(self):
+        events = []
+        orchestrator = Orchestrator()
+        result = orchestrator.deploy(
+            SPEC, tenant="acme", on_event=events.append
+        )
+        assert result.completed
+        assert events, "deployment must stream at least one interval"
+        assert all(isinstance(e, DeployEventV1) for e in events)
+        assert all(e.tenant == "acme" for e in events)
+        # Events round-trip through the wire format.
+        assert decode(encode(events[0])) == events[0]
+        # The stream is the deployment: indices advance, costs sum up.
+        assert [e.index for e in events] == sorted(e.index for e in events)
+        assert sum(e.cost for e in events) == pytest.approx(result.total_cost)
+
+    def test_deploy_session_is_tracked(self):
+        orchestrator = Orchestrator()
+        orchestrator.deploy(SPEC, tenant="acme")
+        assert orchestrator.sessions.sessions("acme")
+
+    def test_spot_without_predictor_is_bad_request(self):
+        spec = JobSpec(input_gb=4.0, goal=GoalSpec(deadline_hours=3.0),
+                       catalog="spot")
+        with pytest.raises(OrchestratorError) as excinfo:
+            Orchestrator().deploy(spec)
+        assert excinfo.value.error.code == "bad_request"
+
+
+class TestErrorMapping:
+    def test_exception_wrapping(self):
+        from repro.core.model_builder import PlanningError
+
+        error = error_v1_from_exception(
+            PlanningError("nope", status="infeasible", budgeted=False)
+        )
+        assert error.code == "infeasible"
+        error = error_v1_from_exception(
+            PlanningError("nope", status="infeasible", budgeted=True)
+        )
+        assert error.code == "budget_exceeded"
+        assert error_v1_from_exception(TimeoutError("slow")).code == "timeout"
+        assert error_v1_from_exception(RuntimeError("?")).code == "internal"
+
+    def test_planning_error_survives_pickling(self):
+        """Process-pool workers ship PlanningError back by pickle; the
+        structured state must survive the trip."""
+        import pickle
+
+        from repro.core.model_builder import PlanningError
+
+        original = PlanningError("msg", status="infeasible", budgeted=True)
+        clone = pickle.loads(pickle.dumps(original))
+        assert str(clone) == "msg"
+        assert clone.status == "infeasible"
+        assert clone.budgeted is True
+
+    def test_admission_rejection_maps_to_rejected(self):
+        from repro.service import error_code_for_exception
+        from repro.service.broker import AdmissionError
+
+        assert error_code_for_exception(AdmissionError("full")) == "rejected"

@@ -1,0 +1,224 @@
+"""Schema round-trips, malformed-input and version-rejection paths."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    SCHEMA_VERSION,
+    DeployEventV1,
+    ErrorV1,
+    GoalSpec,
+    HelloV1,
+    JobSpec,
+    NetworkSpec,
+    PlanRequestV1,
+    PlanResponseV1,
+    SchemaError,
+    decode,
+    encode,
+)
+
+#: One representative, non-default instance of every schema type.
+SAMPLES = [
+    GoalSpec(objective="minimize-time", budget_usd=30.0, deadline_hours=12.0),
+    NetworkSpec(uplink_mbit_s=32.0, downlink_mbit_s=64.0, local_mb_s=50.0),
+    JobSpec(
+        name="kmeans",
+        input_gb=32.0,
+        map_output_ratio=0.01,
+        goal=GoalSpec(deadline_hours=8.0),
+        network=NetworkSpec(uplink_mbit_s=24.0),
+        catalog="hybrid",
+        local_nodes=5,
+        interval_hours=0.5,
+        constant_nodes=True,
+        allow_migration=False,
+        upload_fractions={"aws.s3": 0.5},
+    ),
+    ErrorV1(code="infeasible", message="no plan", details={"hint": "relax"}),
+    PlanRequestV1(
+        job=JobSpec(input_gb=8.0, goal=GoalSpec(deadline_hours=4.0)),
+        tenant="acme",
+        priority=0,
+        deadline_s=30.0,
+        time_budget_s=5.0,
+        request_id="r-42",
+    ),
+    PlanResponseV1(
+        status="completed",
+        tenant="acme",
+        request_id="r-42",
+        cached=True,
+        fingerprint="abc123",
+        predicted_cost=3.4,
+        predicted_completion_hours=2.5,
+        peak_nodes=16,
+        solver_status="optimal",
+        queue_wait_s=0.1,
+        solve_s=1.5,
+        total_s=1.7,
+    ),
+    PlanResponseV1(
+        status="failed",
+        error=ErrorV1(code="budget_exceeded", message="too tight"),
+    ),
+    DeployEventV1(
+        index=3,
+        start_hour=3.0,
+        duration_hours=1.0,
+        nodes={"aws.ec2": 16, "local": 5},
+        uploaded_gb=4.5,
+        map_gb=3.2,
+        reduce_gb=0.1,
+        downloaded_gb=0.0,
+        cost=1.36,
+        outbid_services=("aws.ec2.spot",),
+        spot_data_lost_gb=0.25,
+        tenant="acme",
+        session_id=7,
+    ),
+    HelloV1(version="0.3.0"),
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "message", SAMPLES, ids=lambda m: type(m).__name__
+    )
+    def test_from_dict_to_dict_identity(self, message):
+        assert type(message).from_dict(message.to_dict()) == message
+
+    @pytest.mark.parametrize(
+        "message", SAMPLES, ids=lambda m: type(m).__name__
+    )
+    def test_json_wire_round_trip(self, message):
+        """encode -> real JSON -> decode dispatches back to the same value."""
+        line = encode(message)
+        assert decode(line) == message
+        # The wire form is a single JSON object with the envelope.
+        payload = json.loads(line)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["kind"] == type(message).KIND
+
+    def test_defaults_round_trip(self):
+        for cls in (GoalSpec, NetworkSpec, JobSpec, HelloV1):
+            assert cls.from_dict(cls().to_dict()) == cls()
+
+    def test_numeric_coercion_preserves_equality(self):
+        """Ints on the wire compare equal to the floats they stand for."""
+        spec = JobSpec.from_dict({"input_gb": 8, "goal": {"deadline_hours": 4}})
+        assert spec == JobSpec(input_gb=8.0, goal=GoalSpec(deadline_hours=4.0))
+
+
+class TestVersionRejection:
+    def test_decode_rejects_unknown_version(self):
+        with pytest.raises(SchemaError, match="schema_version"):
+            decode({"schema_version": 2, "kind": "plan_request", "job": {}})
+
+    def test_decode_requires_version(self):
+        with pytest.raises(SchemaError, match="missing schema_version"):
+            decode({"kind": "hello"})
+
+    def test_from_dict_rejects_unknown_version(self):
+        payload = JobSpec().to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(SchemaError, match="unsupported schema_version"):
+            JobSpec.from_dict(payload)
+
+    def test_constructor_rejects_unknown_version(self):
+        with pytest.raises(SchemaError, match="unsupported schema_version"):
+            JobSpec(schema_version=0)
+
+    def test_decode_rejects_unknown_kind(self):
+        with pytest.raises(SchemaError, match="unknown kind"):
+            decode({"schema_version": 1, "kind": "teleport_request"})
+
+    def test_from_dict_rejects_mismatched_kind(self):
+        with pytest.raises(SchemaError, match="expected kind"):
+            JobSpec.from_dict({"kind": "goal_spec"})
+
+
+class TestMalformedInput:
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(SchemaError, match="not valid JSON"):
+            decode("not json at all")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(SchemaError, match="JSON object"):
+            decode("[1, 2, 3]")
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(SchemaError, match="unknown fields"):
+            JobSpec.from_dict({"input_gb": 8, "warp_factor": 9})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(SchemaError, match="input_gb"):
+            JobSpec.from_dict({"input_gb": "lots"})
+        with pytest.raises(SchemaError, match="must be a boolean"):
+            JobSpec.from_dict({"constant_nodes": "yes"})
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(SchemaError, match="input_gb"):
+            JobSpec.from_dict({"input_gb": True})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(SchemaError, match="job"):
+            PlanRequestV1.from_dict({"tenant": "acme"})
+        with pytest.raises(SchemaError, match="code"):
+            ErrorV1.from_dict({"message": "boom"})
+
+    def test_semantic_validation(self):
+        with pytest.raises(SchemaError, match="input_gb"):
+            JobSpec(input_gb=-1.0)
+        with pytest.raises(SchemaError, match="catalog"):
+            JobSpec(catalog="warp")
+        with pytest.raises(SchemaError, match="local_nodes"):
+            JobSpec(catalog="hybrid", local_nodes=0)
+        with pytest.raises(SchemaError, match="services_xml"):
+            JobSpec(catalog="xml")
+        with pytest.raises(SchemaError, match="deadline"):
+            GoalSpec(deadline_hours=None)
+        with pytest.raises(SchemaError, match="budget"):
+            GoalSpec(objective="minimize-time")
+        with pytest.raises(SchemaError, match="status"):
+            PlanResponseV1(status="exploded")
+        with pytest.raises(SchemaError, match="error code"):
+            ErrorV1(code="whoopsie")
+        with pytest.raises(SchemaError, match="tenant"):
+            PlanRequestV1(job=JobSpec(), tenant="")
+
+    def test_schema_error_is_a_value_error(self):
+        """Callers that predate the API still catch these."""
+        assert issubclass(SchemaError, ValueError)
+
+
+class TestCompilation:
+    def test_goal_spec_compiles_to_goal(self):
+        from repro.core import GoalKind
+
+        goal = GoalSpec(deadline_hours=6.0).to_goal()
+        assert goal.kind is GoalKind.MINIMIZE_COST
+        assert goal.deadline_hours == 6.0
+        timed = GoalSpec(
+            objective="minimize-time", budget_usd=30.0, deadline_hours=12.0
+        ).to_goal()
+        assert timed.kind is GoalKind.MINIMIZE_TIME
+        assert timed.budget_usd == 30.0
+        assert GoalSpec.from_goal(goal) == GoalSpec(deadline_hours=6.0)
+
+    def test_network_spec_defaults_match_core_defaults(self):
+        from repro.core import NetworkConditions
+
+        assert NetworkSpec().to_conditions() == NetworkConditions()
+
+    def test_network_spec_symmetric_downlink(self):
+        conditions = NetworkSpec(uplink_mbit_s=32.0).to_conditions()
+        assert conditions.uplink_gb_per_hour == conditions.downlink_gb_per_hour
+
+    def test_job_spec_compiles_to_planner_job(self):
+        spec = JobSpec(name="wc", input_gb=8.0, map_output_ratio=0.5)
+        job = spec.to_planner_job()
+        assert job.name == "wc"
+        assert job.input_gb == 8.0
+        assert job.map_output_ratio == 0.5

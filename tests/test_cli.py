@@ -150,7 +150,21 @@ class TestSubmit:
         assert main(
             ["submit", "--input-gb", "64", "--deadline", "2", *SERVICE_ARGS]
         ) == 1
-        assert "planning failed" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "planning failed" in err
+        assert "infeasible" in err
+
+    def test_submit_json_emits_wire_responses(self, capsys):
+        import json
+
+        assert main(
+            ["submit", "--input-gb", "4", "--deadline", "3", "--repeat", "2",
+             "--json", *SERVICE_ARGS]
+        ) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert [l["kind"] for l in lines] == ["plan_response"] * 2
+        assert lines[0]["cached"] is False and lines[1]["cached"] is True
+        assert lines[0]["predicted_cost"] > 0
 
 
 class TestLoadgen:
@@ -165,49 +179,138 @@ class TestLoadgen:
         assert "p99" in out
 
 
+def _request_line(tenant="acme", request_id="", **job) -> str:
+    import json
+
+    payload = {
+        "schema_version": 1,
+        "kind": "plan_request",
+        "tenant": tenant,
+        "job": job,
+    }
+    if request_id:
+        payload["request_id"] = request_id
+    return json.dumps(payload)
+
+
 class TestServe:
     def test_serve_requests_file(self, tmp_path, capsys):
+        import json
+
+        job = {"input_gb": 4, "goal": {"deadline_hours": 3}}
         path = tmp_path / "requests.jsonl"
         path.write_text(
-            '{"tenant": "acme", "scenario": "quickstart", '
-            '"input_gb": 4, "deadline": 3}\n'
+            _request_line(request_id="a-1", **job) + "\n"
             "# a comment line\n"
-            '{"tenant": "acme", "scenario": "quickstart", '
-            '"input_gb": 4, "deadline": 3}\n'
+            + _request_line(request_id="a-2", **job) + "\n"
         )
         assert main(
             ["serve", "--requests-file", str(path), *SERVICE_ARGS]
         ) == 0
         captured = capsys.readouterr()
-        lines = [l for l in captured.out.splitlines() if l.startswith("{")]
-        assert len(lines) == 2
-        assert '"cached": false' in lines[0]
-        assert '"cached": true' in lines[1]
+        lines = [json.loads(l) for l in captured.out.splitlines()
+                 if l.startswith("{")]
+        assert lines[0]["kind"] == "hello"
+        assert lines[0]["schema_version"] == 1
+        assert lines[0]["version"]
+        responses = [l for l in lines if l["kind"] == "plan_response"]
+        assert len(responses) == 2
+        assert responses[0]["cached"] is False
+        assert responses[1]["cached"] is True
+        assert [r["request_id"] for r in responses] == ["a-1", "a-2"]
+        assert all(r["status"] == "completed" for r in responses)
         assert "hit rate" in captured.err
 
-    def test_serve_failed_stream_exits_nonzero(self, tmp_path, capsys):
+    def test_serve_failed_stream_is_structured(self, tmp_path, capsys):
+        import json
+
         path = tmp_path / "requests.jsonl"
         path.write_text(
-            '{"tenant": "acme", "scenario": "quickstart", '
-            '"input_gb": 64, "deadline": 2}\n'
+            _request_line(input_gb=64, goal={"deadline_hours": 2}) + "\n"
         )
         assert main(
             ["serve", "--requests-file", str(path), *SERVICE_ARGS]
         ) == 1
-        out = capsys.readouterr().out
-        assert '"status": "failed"' in out
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        response = next(l for l in lines if l["kind"] == "plan_response")
+        assert response["status"] == "failed"
+        assert response["error"]["code"] == "infeasible"
+
+    def test_serve_unknown_version_yields_bad_schema(self, tmp_path, capsys):
+        """An unknown schema_version must come back as a structured
+        error line, not a traceback."""
+        import json
+
+        path = tmp_path / "requests.jsonl"
+        path.write_text(
+            '{"schema_version": 99, "kind": "plan_request", "job": {}}\n'
+        )
+        assert main(["serve", "--requests-file", str(path), *SERVICE_ARGS]) == 1
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        error = next(l for l in lines if l["kind"] == "error")
+        assert error["code"] == "bad_schema"
+        assert "schema_version" in error["message"]
 
     def test_serve_bad_line_fails(self, tmp_path, capsys):
+        import json
+
         path = tmp_path / "requests.jsonl"
         path.write_text("not json\n")
         assert main(["serve", "--requests-file", str(path), *SERVICE_ARGS]) == 1
-        assert "bad request" in capsys.readouterr().err
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        error = next(l for l in lines if l["kind"] == "error")
+        assert error["code"] == "bad_schema"
+
+    def test_serve_wrong_kind_rejected(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "requests.jsonl"
+        path.write_text('{"schema_version": 1, "kind": "hello"}\n')
+        assert main(["serve", "--requests-file", str(path), *SERVICE_ARGS]) == 1
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        error = next(l for l in lines if l["kind"] == "error")
+        assert error["code"] == "bad_schema"
+        assert "plan_request" in error["message"]
 
     def test_serve_missing_file(self, capsys):
         assert main(
             ["serve", "--requests-file", "/nonexistent.jsonl", *SERVICE_ARGS]
         ) == 1
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "schema v1" in out
+
+
+class TestDeployStream:
+    def test_stream_emits_versioned_events(self, capsys):
+        import json
+
+        assert main(
+            ["deploy", "--stream", "--input-gb", "4", "--deadline", "3"]
+        ) == 0
+        lines = capsys.readouterr().out.splitlines()
+        events = [json.loads(l) for l in lines if l.startswith("{")]
+        assert events
+        assert all(e["kind"] == "deploy_event" for e in events)
+        assert all(e["schema_version"] == 1 for e in events)
+        assert "deployed:" in lines[-1]
+
+    def test_stream_rejects_baseline_strategy(self, capsys):
+        assert main(
+            ["deploy", "--stream", "--strategy", "hadoop-s3",
+             "--input-gb", "4", "--deadline", "3"]
+        ) == 2
+        assert "cannot be combined" in capsys.readouterr().err
 
 
 class TestExport:

@@ -25,6 +25,7 @@ Quickstart::
 
 from .schemas import (
     CATALOGS,
+    DEPLOY_EVENT_KINDS,
     DeployEventV1,
     ERROR_CODES,
     ErrorV1,
@@ -59,6 +60,7 @@ from .orchestrator import Orchestrator, OrchestratorError
 
 __all__ = [
     "CATALOGS",
+    "DEPLOY_EVENT_KINDS",
     "DEFAULT_SPOT_PRICE",
     "DeployEventV1",
     "ERROR_CODES",

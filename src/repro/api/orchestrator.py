@@ -9,7 +9,10 @@ through this class:
   :class:`~repro.service.service.PlanningService` (queues, plan cache,
   solver pool) and get an async handle;
 - :meth:`Orchestrator.deploy` — run the deploy/monitor/adapt controller
-  loop, streaming each interval as a :class:`DeployEventV1`.
+  loop, streaming each interval and re-plan as a :class:`DeployEventV1`;
+- :meth:`Orchestrator.fleet` — run many deployments over one shared
+  :class:`~repro.fleet.substrate.Substrate` with event-driven
+  re-planning (the :mod:`repro.fleet` runtime).
 
 Failures surface as :class:`OrchestratorError` carrying a structured
 :class:`~repro.api.schemas.ErrorV1`, never a raw solver traceback.
@@ -19,6 +22,7 @@ from __future__ import annotations
 
 import threading
 
+from ..core.controller import ReplanRecord
 from ..core.model_builder import PlanningError
 from ..core.plan import ExecutionPlan
 from ..core.planner import Planner
@@ -257,26 +261,11 @@ class Orchestrator:
 
     # -- deployment -------------------------------------------------------
 
-    def deploy(
-        self,
-        spec: JobSpec,
-        *,
-        tenant: str = "default",
-        actual=None,
-        on_event=None,
-        controller_config=None,
-        predictor=None,
-        trace=None,
-        trace_offset_hours: float = 0.0,
-        event_timeout: float | None = None,
-    ):
-        """Run the deploy/monitor/adapt loop for one spec to completion.
+    def _controller_inputs(self, spec: JobSpec):
+        """Unpack a spec into ``JobController`` inputs (deploy + fleet).
 
-        Streams each executed interval to ``on_event`` as a
-        :class:`DeployEventV1` and returns the full
-        :class:`~repro.core.controller.ControllerResult`.  ``actual``
-        injects real-world conditions (the Fig. 12 deviation experiments);
-        ``predictor``/``trace`` are required for ``spot``-catalog specs.
+        Raises :class:`OrchestratorError` for non-specs and for specs
+        the catalog/goal/network compilation rejects (``bad_request``).
         """
         if not isinstance(spec, JobSpec):
             raise TypeError(f"expected a JobSpec, got {type(spec).__name__}")
@@ -295,6 +284,31 @@ class Orchestrator:
         }
         if spec.upload_fractions:
             problem_kwargs["upload_fractions"] = dict(spec.upload_fractions)
+        return services, goal, network, problem_kwargs
+
+    def deploy(
+        self,
+        spec: JobSpec,
+        *,
+        tenant: str = "default",
+        actual=None,
+        on_event=None,
+        controller_config=None,
+        predictor=None,
+        trace=None,
+        trace_offset_hours: float = 0.0,
+        event_timeout: float | None = None,
+    ):
+        """Run the deploy/monitor/adapt loop for one spec to completion.
+
+        Streams each executed interval — and each adopted re-plan, as an
+        ``event="replan"`` record carrying its trigger and reason — to
+        ``on_event`` as a :class:`DeployEventV1`, and returns the full
+        :class:`~repro.core.controller.ControllerResult`.  ``actual``
+        injects real-world conditions (the Fig. 12 deviation experiments);
+        ``predictor``/``trace`` are required for ``spot``-catalog specs.
+        """
+        services, goal, network, problem_kwargs = self._controller_inputs(spec)
         try:
             session = self.sessions.start(
                 tenant,
@@ -314,19 +328,93 @@ class Orchestrator:
             raise OrchestratorError(
                 ErrorV1(code="bad_request", message=str(exc))
             ) from exc
+        intervals = 0
         try:
-            for outcome in session.events(timeout=event_timeout):
-                if on_event is not None:
-                    on_event(
-                        DeployEventV1.from_outcome(
-                            outcome,
-                            tenant=tenant,
-                            session_id=session.session_id,
-                        )
+            for event in session.events(
+                timeout=event_timeout, include_replans=True
+            ):
+                if isinstance(event, ReplanRecord):
+                    wire = DeployEventV1.from_replan(
+                        event,
+                        tenant=tenant,
+                        session_id=session.session_id,
+                        index=intervals,
                     )
+                else:
+                    intervals += 1
+                    wire = DeployEventV1.from_outcome(
+                        event,
+                        tenant=tenant,
+                        session_id=session.session_id,
+                    )
+                if on_event is not None:
+                    on_event(wire)
         except PlanningError as exc:
             raise OrchestratorError(error_v1_from_exception(exc)) from exc
         return session.wait(timeout=30.0)
+
+    # -- fleet ------------------------------------------------------------
+
+    def fleet(
+        self,
+        specs,
+        substrate,
+        *,
+        fleet_config=None,
+        controller_config=None,
+        predictor=None,
+        on_event=None,
+        actual_rates=None,
+    ):
+        """Run many deployments over one shared substrate (:mod:`repro.fleet`).
+
+        ``specs`` is a sequence of :class:`JobSpec` or ``(tenant, spec)``
+        pairs; each is resolved through the one spec compiler and added
+        to a :class:`~repro.fleet.scheduler.FleetScheduler` driving the
+        given :class:`~repro.fleet.substrate.Substrate`.  Every executed
+        interval and adopted re-plan streams to ``on_event`` as a
+        :class:`DeployEventV1` (the ``repro fleet`` CLI's line format);
+        the return value is the
+        :class:`~repro.fleet.scheduler.FleetResult`.
+
+        ``predictor`` applies to every spot-catalog deployment;
+        ``actual_rates`` optionally maps tenant -> ground-truth per-node
+        rates for deviation experiments.
+        """
+        # Imported lazily: repro.fleet sits *above* the api layer and
+        # importing it at module scope would be circular.
+        from ..fleet import FleetScheduler
+
+        scheduler = FleetScheduler(
+            substrate, fleet_config, planner=self.planner
+        )
+        for position, entry in enumerate(specs, 1):
+            tenant, spec = (
+                entry if isinstance(entry, tuple) else (f"tenant-{position}", entry)
+            )
+            services, goal, network, problem_kwargs = self._controller_inputs(
+                spec
+            )
+            try:
+                scheduler.add(
+                    tenant,
+                    spec.to_planner_job(),
+                    services,
+                    goal,
+                    network=network,
+                    predictor=predictor,
+                    controller_config=controller_config,
+                    actual_rates=(actual_rates or {}).get(tenant),
+                    problem_kwargs=problem_kwargs,
+                )
+            except ValueError as exc:
+                raise OrchestratorError(
+                    ErrorV1(code="bad_request", message=str(exc))
+                ) from exc
+        try:
+            return scheduler.run(on_event=on_event)
+        except PlanningError as exc:
+            raise OrchestratorError(error_v1_from_exception(exc)) from exc
 
 
 __all__ = ["Orchestrator", "OrchestratorError"]

@@ -663,13 +663,29 @@ class PlanResponseV1:
         return response
 
 
+#: Kinds of deploy events a v1 stream may carry.  ``interval`` is one
+#: executed plan interval; ``replan`` (additive in the fleet runtime
+#: work) announces an adopted re-plan, with ``trigger`` naming the
+#: taxonomy entry (see :data:`repro.core.triggers.TRIGGER_KINDS`) and
+#: ``reason`` the human-readable cause.
+DEPLOY_EVENT_KINDS = ("interval", "replan")
+
+
 @dataclass(frozen=True)
 class DeployEventV1:
-    """One executed interval of a streaming deployment.
+    """One event of a streaming deployment.
 
     The wire form of :class:`~repro.core.executor.IntervalOutcome` — what
     a front-end needs to render live progress (Fig. 12's series are
-    exactly these events, accumulated).
+    exactly these events, accumulated).  ``event="replan"`` marks an
+    adaptation round instead of an executed interval: the numeric fields
+    are zero, ``trigger``/``reason`` say why, and ``start_hour`` is when
+    the new plan was adopted.  All three fields default to the historical
+    meaning, so pre-fleet v1 payloads decode unchanged.
+
+    Ordering: events arrive in causal stream order.  ``index`` is not a
+    stream position — interval indices are plan-local and restart with
+    every adopted re-plan (exactly as the controller's plans do).
     """
 
     KIND: ClassVar[str] = "deploy_event"
@@ -687,11 +703,21 @@ class DeployEventV1:
     spot_data_lost_gb: float = 0.0
     tenant: str = "default"
     session_id: int = 0
+    #: One of :data:`DEPLOY_EVENT_KINDS` (additive; default = historical).
+    event: str = "interval"
+    #: Replan-trigger taxonomy entry (``replan`` events only).
+    trigger: str = ""
+    #: Human-readable cause of a re-plan (``replan`` events only).
+    reason: str = ""
     schema_version: int = SCHEMA_VERSION
 
     def __post_init__(self) -> None:
         _require(self.schema_version == SCHEMA_VERSION,
                  f"unsupported schema_version {self.schema_version!r}")
+        _require(self.event in DEPLOY_EVENT_KINDS,
+                 f"unknown deploy event kind {self.event!r}")
+        _require(self.event != "interval" or not (self.trigger or self.reason),
+                 "interval events carry no trigger/reason")
         for name in ("start_hour", "duration_hours", "uploaded_gb", "map_gb",
                      "reduce_gb", "downloaded_gb", "cost", "spot_data_lost_gb"):
             _set(self, name, float(getattr(self, name)))
@@ -699,7 +725,7 @@ class DeployEventV1:
         _set(self, "outbid_services", tuple(self.outbid_services))
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "schema_version": self.schema_version,
             "kind": self.KIND,
             "index": self.index,
@@ -716,6 +742,14 @@ class DeployEventV1:
             "tenant": self.tenant,
             "session_id": self.session_id,
         }
+        if self.event != "interval":
+            # The additive fields appear only on the new event kinds, so
+            # interval payloads stay byte-identical to what pre-fleet v1
+            # readers (which reject unknown fields) already accept.
+            payload["event"] = self.event
+            payload["trigger"] = self.trigger
+            payload["reason"] = self.reason
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "DeployEventV1":
@@ -734,6 +768,9 @@ class DeployEventV1:
             spot_data_lost_gb=_take(data, "spot_data_lost_gb", _float, 0.0),
             tenant=_take(data, "tenant", _str, "default"),
             session_id=_take(data, "session_id", _int, 0),
+            event=_take(data, "event", _str, "interval"),
+            trigger=_take(data, "trigger", _str, ""),
+            reason=_take(data, "reason", _str, ""),
         )
         _finish(data, cls.KIND)
         return event
@@ -757,6 +794,33 @@ class DeployEventV1:
             spot_data_lost_gb=outcome.spot_data_lost_gb,
             tenant=tenant,
             session_id=session_id,
+        )
+
+    @classmethod
+    def from_replan(
+        cls,
+        record,
+        *,
+        tenant: str = "default",
+        session_id: int = 0,
+        index: int = 0,
+    ) -> "DeployEventV1":
+        """Wrap a core :class:`~repro.core.controller.ReplanRecord`.
+
+        ``index`` is the count of intervals executed before the re-plan
+        was adopted.  Note it is *not* comparable to interval events'
+        ``index``, which is plan-local and restarts with every adopted
+        plan; stream position (arrival order) is the ordering contract.
+        """
+        return cls(
+            index=index,
+            start_hour=record.hour,
+            duration_hours=0.0,
+            tenant=tenant,
+            session_id=session_id,
+            event="replan",
+            trigger=record.kind,
+            reason=record.reason,
         )
 
 
@@ -848,6 +912,7 @@ def encode(message) -> str:
 
 __all__ = [
     "CATALOGS",
+    "DEPLOY_EVENT_KINDS",
     "DeployEventV1",
     "ERROR_CODES",
     "ErrorV1",

@@ -12,6 +12,10 @@ the workflows a Conductor user would actually run:
 - ``pig``       — compile a Pig-Latin script to MapReduce stages and
   plan the multi-stage deployment;
 - ``export``    — write the generated linear program to a .lp/.mps file;
+- ``fleet``     — run many concurrent deployments over one shared
+  substrate (spot trace, failure injector) with event-driven
+  re-planning, streaming every interval and re-plan as versioned
+  ``deploy_event`` JSON lines;
 - ``serve``     — run the multi-tenant planning service over a JSON-lines
   request stream (file or stdin).  The wire dialect is exactly the
   versioned API: ``plan_request`` in, ``hello`` / ``plan_response`` /
@@ -30,6 +34,7 @@ Examples::
     python -m repro deploy --stream --input-gb 4 --deadline 3
     python -m repro services --emit
     python -m repro spot --trace electricity --predictor p5 --deadline 10
+    python -m repro fleet --deployments 8 --trace aws --mode event
     python -m repro pig script.pig --input-gb 24 --deadline 10
     python -m repro export --input-gb 32 --deadline 6 model.lp
     python -m repro serve --requests-file requests.jsonl
@@ -207,20 +212,9 @@ def cmd_services(args) -> int:
 
 
 def cmd_spot(args) -> int:
-    trace = (
-        electricity_like_trace(days=args.days, seed=args.seed)
-        if args.trace == "electricity"
-        else aws_like_trace(days=args.days, seed=args.seed)
-    )
-    predictors = {
-        "opt": OptimalPredictor,
-        "p0": CurrentPricePredictor,
-    }
-    if args.predictor in predictors:
-        predictor = predictors[args.predictor]()
-    elif args.predictor.startswith("p"):
-        predictor = WindowMaxPredictor(int(args.predictor[1:]))
-    else:
+    trace = _trace_for(args.trace, args.days, args.seed)
+    predictor = _predictor_for(args.predictor)
+    if predictor is None:
         print(f"unknown predictor {args.predictor!r}", file=sys.stderr)
         return 2
     result = run_spot_scenario(
@@ -235,6 +229,105 @@ def cmd_spot(args) -> int:
           f"stddev {summary['stddev']:.2f}")
     print(f"  re-plans per run: {result.replans}")
     return 0
+
+
+def _trace_for(name: str, days: int, seed: int):
+    """Shared synthetic-trace selector for ``spot`` and ``fleet``."""
+    maker = electricity_like_trace if name == "electricity" else aws_like_trace
+    return maker(days=days, seed=seed)
+
+
+def _predictor_for(name: str):
+    """Shared predictor selector for the ``spot`` and ``fleet`` commands."""
+    predictors = {
+        "opt": OptimalPredictor,
+        "p0": CurrentPricePredictor,
+    }
+    if name in predictors:
+        return predictors[name]()
+    if name.startswith("p") and name[1:].isdigit():
+        return WindowMaxPredictor(int(name[1:]))
+    return None
+
+
+def cmd_fleet(args) -> int:
+    """Run concurrent deployments over one substrate, streaming events.
+
+    Stdout carries one versioned ``deploy_event`` JSON line per executed
+    interval and per adopted re-plan (``"event": "replan"``, with the
+    trigger kind and reason); the fleet summary goes to stderr, keeping
+    stdout machine-parseable end to end.
+    """
+    from .api import (
+        GoalSpec,
+        JobSpec,
+        NetworkSpec,
+        Orchestrator,
+        OrchestratorError,
+        encode,
+    )
+    from .core.spot_sim import spot_services
+    from .fleet import FailureInjector, FleetConfig, Substrate
+
+    if args.deployments < 1:
+        print("--deployments must be >= 1", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.failure_rate < 1.0:
+        print("--failure-rate must be in [0, 1)", file=sys.stderr)
+        return 2
+    predictor = _predictor_for(args.predictor)
+    if predictor is None:
+        print(f"unknown predictor {args.predictor!r}", file=sys.stderr)
+        return 2
+    trace = _trace_for(args.trace, args.days, args.seed)
+    spot = next(s for s in spot_services() if s.is_spot)
+    failures = (
+        FailureInjector(rate_per_hour=args.failure_rate, seed=args.seed)
+        if args.failure_rate > 0
+        else None
+    )
+    substrate = Substrate(
+        {spot.name: trace},
+        eviction_bids={spot.name: spot.price_per_node_hour},
+        failures=failures,
+    )
+    specs = [
+        (
+            f"tenant-{i + 1}",
+            JobSpec(
+                name=f"job-{i + 1}",
+                input_gb=args.input_gb,
+                goal=GoalSpec(deadline_hours=args.deadline),
+                network=NetworkSpec(uplink_mbit_s=args.uplink_mbit),
+                catalog="spot",
+            ),
+        )
+        for i in range(args.deployments)
+    ]
+    try:
+        config = FleetConfig(
+            mode=args.mode,
+            interval_cadence_hours=args.cadence,
+            replan_budget=args.replan_budget,
+            start_hour=args.start_hour,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        result = Orchestrator().fleet(
+            specs,
+            substrate,
+            fleet_config=config,
+            predictor=predictor,
+            on_event=lambda event: print(encode(event)),
+        )
+    except OrchestratorError as exc:
+        print(f"fleet failed [{exc.error.code}]: {exc.error.message}",
+              file=sys.stderr)
+        return 1
+    print(result.describe(), file=sys.stderr)
+    return 0 if result.completed == len(specs) else 1
 
 
 def cmd_pig(args) -> int:
@@ -576,6 +669,34 @@ def build_parser() -> argparse.ArgumentParser:
     spot.add_argument("--input-gb", type=float, default=32.0)
     spot.add_argument("--deadline", type=float, default=10.0)
     spot.set_defaults(handler=cmd_spot)
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="run concurrent deployments over one substrate, streaming "
+        "deploy_event JSON lines",
+    )
+    fleet.add_argument("--deployments", type=int, default=8,
+                       help="concurrent deployments sharing the substrate")
+    fleet.add_argument("--mode", choices=("event", "interval"), default="event",
+                       help="event-driven re-planning or fixed-cadence only")
+    fleet.add_argument("--cadence", type=float, default=6.0,
+                       help="fixed re-plan cadence in hours (both modes)")
+    fleet.add_argument("--replan-budget", type=int, default=16,
+                       help="event-driven re-plans per deployment "
+                       "(0 = interval-only)")
+    fleet.add_argument("--trace", choices=("aws", "electricity"), default="aws")
+    fleet.add_argument("--predictor", default="p5",
+                       help="opt, p0, or pN (window of N days)")
+    fleet.add_argument("--days", type=int, default=8)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--start-hour", type=float, default=24.0,
+                       help="substrate hour at which the fleet starts")
+    fleet.add_argument("--failure-rate", type=float, default=0.0,
+                       help="node-failure probability per service-hour")
+    fleet.add_argument("--input-gb", type=float, default=4.0)
+    fleet.add_argument("--deadline", type=float, default=12.0)
+    fleet.add_argument("--uplink-mbit", type=float, default=16.0)
+    fleet.set_defaults(handler=cmd_fleet)
 
     pig = commands.add_parser(
         "pig", help="compile a Pig-Latin script and plan the pipeline"

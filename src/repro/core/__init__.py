@@ -20,7 +20,13 @@ from .calibration import (
     run_recurring,
 )
 from .conditions import ActualConditions
-from .controller import ControllerConfig, ControllerResult, JobController
+from .controller import (
+    ControllerConfig,
+    ControllerResult,
+    ControllerRun,
+    JobController,
+    ReplanRecord,
+)
 from .deployments import (
     DeploymentResult,
     DeploymentScenario,
@@ -83,11 +89,42 @@ from .problem import (
     PlanningProblem,
     SystemState,
 )
+from .triggers import (
+    TRIGGER_KINDS,
+    DeviationTrigger,
+    EvictionTrigger,
+    FailureTrigger,
+    IntervalTrigger,
+    PriceTrigger,
+    ReplanDecision,
+    Trigger,
+    TriggerContext,
+    TriggerPolicy,
+    default_trigger_policy,
+    interval_trigger_policy,
+)
 
 __all__ = [
     "Ar1Predictor",
     "BuiltModel",
     "CalibrationReport",
+    "ControllerConfig",
+    "ControllerResult",
+    "ControllerRun",
+    "DeviationTrigger",
+    "EvictionTrigger",
+    "FailureTrigger",
+    "IntervalTrigger",
+    "JobController",
+    "PriceTrigger",
+    "ReplanDecision",
+    "ReplanRecord",
+    "TRIGGER_KINDS",
+    "Trigger",
+    "TriggerContext",
+    "TriggerPolicy",
+    "default_trigger_policy",
+    "interval_trigger_policy",
     "CostCategory",
     "RateObservation",
     "RecurringRunResult",

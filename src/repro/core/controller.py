@@ -11,6 +11,21 @@ The controller closes the loop the paper describes:
 
 Fig. 12 of the paper is exactly one run of this loop with a 3.3×
 throughput misprediction.
+
+Two ways to drive it:
+
+- :meth:`JobController.run` owns the whole loop (submission to
+  completion) — the standalone and :class:`DeploySession` path;
+- :meth:`JobController.start` returns a resumable
+  :class:`ControllerRun` that executes **one interval per** ``step()``
+  call, so an external scheduler — the fleet runtime of
+  :mod:`repro.fleet` — can interleave many deployments over one
+  simulated substrate and inject event-driven re-plans between steps
+  via :meth:`ControllerRun.request_replan`.
+
+*When* to re-plan is delegated to a pluggable
+:class:`~repro.core.triggers.TriggerPolicy`; the default reproduces the
+paper's monitor (eviction, failure, deviation, price).
 """
 
 from __future__ import annotations
@@ -36,6 +51,7 @@ from .problem import (
     PlanningProblem,
     SystemState,
 )
+from .triggers import TriggerContext, TriggerPolicy, default_trigger_policy
 
 _EPS = 1e-9
 
@@ -61,6 +77,25 @@ class ControllerConfig:
     split_mb: float = 64.0
 
 
+@dataclass(frozen=True)
+class ReplanRecord:
+    """One re-planning round: when, why, and which plan it produced.
+
+    ``kind`` is the trigger taxonomy of :mod:`repro.core.triggers`
+    (``interval`` / ``deviation`` / ``price`` / ``eviction`` /
+    ``failure`` / ``capacity``), plus ``exhausted`` for the controller's
+    forced re-plan when the plan ran out with work remaining, and
+    ``external`` for re-plans requested by an outside scheduler (the
+    fleet runtime).
+    """
+
+    hour: float
+    kind: str
+    reason: str
+    #: Index of the produced plan in :attr:`ControllerResult.plans`.
+    plan_index: int
+
+
 @dataclass
 class ControllerResult:
     """Full record of a controlled deployment."""
@@ -80,6 +115,8 @@ class ControllerResult:
     node_series: list[tuple[float, int]] = field(default_factory=list)
     #: (hour, completed tasks) series — Fig. 12b.
     task_series: list[tuple[float, int]] = field(default_factory=list)
+    #: Why each re-plan happened, in order (one per entry in ``plans[1:]``).
+    replan_records: list[ReplanRecord] = field(default_factory=list)
 
     @property
     def total_tasks(self) -> int:
@@ -101,6 +138,7 @@ class JobController:
         trace: SpotTrace | None = None,
         trace_offset_hours: float = 0.0,
         problem_kwargs: dict | None = None,
+        triggers: TriggerPolicy | None = None,
     ) -> None:
         self.job = job
         self.services = list(services)
@@ -112,6 +150,7 @@ class JobController:
         self.trace = trace
         self.trace_offset_hours = trace_offset_hours
         self.problem_kwargs = dict(problem_kwargs or {})
+        self.triggers = triggers or default_trigger_policy()
         self._spot_names = [s.name for s in self.services if s.is_spot]
         if self._spot_names and (predictor is None or trace is None):
             raise ValueError("spot services require a predictor and a trace")
@@ -126,79 +165,51 @@ class JobController:
         self,
         actual: ActualConditions | None = None,
         on_interval=None,
+        on_replan=None,
     ) -> ControllerResult:
         """Deploy the job against ``actual`` conditions until completion.
 
-        ``on_interval``, when given, is called with each
-        :class:`IntervalOutcome` as it happens — the hook the planning
-        service's session manager uses to stream deployment progress.
+        Parameters
+        ----------
+        actual:
+            Ground-truth runtime conditions the executor simulates
+            against (node rates, WAN factors, realized spot prices).
+            Defaults to "the world behaves exactly as modeled".
+        on_interval:
+            Called with each :class:`IntervalOutcome` as it happens —
+            the hook :class:`~repro.service.session.DeploySession` uses
+            to stream deployment progress.
+        on_replan:
+            Called with each :class:`ReplanRecord` at the moment a
+            re-plan is adopted, *before* the next interval executes —
+            the hook behind the ``replan`` deploy events on the wire.
+
+        Returns the full :class:`ControllerResult`: cost ledger, plan
+        history, every interval outcome, and one :class:`ReplanRecord`
+        per adaptation round.  Equivalent to driving
+        :meth:`start`/:meth:`ControllerRun.step` to completion.
         """
-        actual = actual or ActualConditions.as_predicted()
-        config = self.config
-        deadline = float(self.goal.deadline_hours or 0.0)
-        state = SystemState.initial(self.job)
-        ledger = CostLedger()
-        outcomes: list[IntervalOutcome] = []
-        plans: list[ExecutionPlan] = []
-        node_series: list[tuple[float, int]] = []
-        task_series: list[tuple[float, int]] = [(0.0, 0)]
-        replans = 0
-        max_hours = deadline * config.max_horizon_factor
-
-        plan, estimates = self._plan(state)
-        plans.append(plan)
-        executor = self._executor(state, actual, ledger)
-
-        while not executor.is_complete(state) and state.hour < max_hours - _EPS:
-            interval = plan.interval_at(state.hour)
-            self._update_bids(executor, state)
-            outcome = executor.execute_interval(interval, state)
-            outcomes.append(outcome)
+        run = self.start(actual, on_replan=on_replan)
+        while (outcome := run.step()) is not None:
             if on_interval is not None:
                 on_interval(outcome)
-            node_series.append((outcome.start_hour, sum(outcome.nodes.values())))
-            task_series.append((state.hour, self._completed_tasks(state)))
+        return run.result()
 
-            if executor.is_complete(state):
-                break
-            reason = self._deviation_reason(outcome, estimates, state)
-            if reason and replans < config.max_replans:
-                self._learn_rates(outcome)
-                try:
-                    plan, estimates = self._plan(state)
-                except PlanningError:
-                    plan, estimates = self._plan_with_extension(state)
-                plans.append(plan)
-                replans += 1
-                executor = self._executor(state, actual, ledger)
-            elif state.hour >= plan.intervals[-1].end_hour - _EPS:
-                # Plan exhausted but work remains (e.g. persistent out-bid):
-                # force a re-plan to keep making progress.
-                if replans >= config.max_replans:
-                    break
-                try:
-                    plan, estimates = self._plan(state)
-                except PlanningError:
-                    plan, estimates = self._plan_with_extension(state)
-                plans.append(plan)
-                replans += 1
-                executor = self._executor(state, actual, ledger)
+    def start(
+        self,
+        actual: ActualConditions | None = None,
+        on_replan=None,
+    ) -> "ControllerRun":
+        """Plan the job and return a resumable, steppable deployment.
 
-        completed = executor.is_complete(state)
-        return ControllerResult(
-            completed=completed,
-            completion_hours=state.hour,
-            total_cost=ledger.total(),
-            ledger=ledger,
-            outcomes=outcomes,
-            plans=plans,
-            replans=replans,
-            deadline_hours=deadline,
-            deadline_met=completed and state.hour <= deadline + _EPS,
-            final_state=state,
-            node_series=node_series,
-            task_series=task_series,
-        )
+        Solves the initial plan synchronously (raising
+        :class:`PlanningError` exactly as :meth:`run` would) but
+        executes nothing: the caller owns the clock and advances the
+        deployment one interval at a time with
+        :meth:`ControllerRun.step`.  This is the fleet scheduler's entry
+        point.
+        """
+        return ControllerRun(self, actual, on_replan=on_replan)
 
     def _executor(self, state, actual, ledger) -> FluidExecutor:
         executor = FluidExecutor(
@@ -300,47 +311,26 @@ class JobController:
                 bid = min(bid, ceiling)
             executor.bids[name] = bid
 
-    def _deviation_reason(
-        self,
-        outcome: IntervalOutcome,
-        estimates: dict[str, np.ndarray],
-        state: SystemState,
-    ) -> str | None:
-        config = self.config
-        if outcome.outbid_services:
-            return f"out-bid on {','.join(outcome.outbid_services)}"
-        if outcome.spot_data_lost_gb > 1e-6:
-            return f"spot storage loss of {outcome.spot_data_lost_gb:.1f} GB"
-        if outcome.map_shortfall > config.deviation_threshold:
-            return f"progress shortfall {outcome.map_shortfall:.0%}"
-        for name, observed in outcome.observed_rates.items():
-            believed = self._believed.get(name, 0.0) * self.job.throughput_scale
-            if believed <= 0:
-                continue
-            rel = abs(observed - believed) / believed
-            if rel > config.rate_deviation_threshold:
-                return f"rate deviation on {name}: {rel:.0%}"
-        if self.trace is not None and self._spot_names and estimates:
-            now = self.trace_offset_hours + outcome.start_hour
-            realized = self.trace.price_at(now)
-            for name in self._spot_names:
-                series = estimates.get(name)
-                if series is None or len(series) == 0:
-                    continue
-                expected = float(series[0]) if outcome.index <= 1 else float(
-                    series[min(outcome.index - 1, len(series) - 1)]
-                )
-                if expected > 0 and abs(realized - expected) / expected > (
-                    config.price_deviation_threshold
-                ):
-                    return f"spot price deviation on {name}"
-        return None
-
     def _learn_rates(self, outcome: IntervalOutcome) -> None:
         """Fold observed per-node rates back into the model's beliefs."""
         for name, observed in outcome.observed_rates.items():
             if observed > 0:
                 self._believed[name] = observed / self.job.throughput_scale
+
+    def scale_belief(self, name: str, factor: float) -> None:
+        """Scale the believed per-node rate for one service.
+
+        The notification path for capability changes known *before* they
+        are observed — the fleet scheduler applies a node-failure
+        event's severity here so the re-plan it requests already models
+        the degraded service instead of re-solving on stale beliefs.
+        Subsequent observations (``_learn_rates``) overwrite the scaled
+        value with measured reality.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        if name in self._believed:
+            self._believed[name] *= factor
 
     def _completed_tasks(self, state: SystemState) -> int:
         split_gb = self.config.split_mb / MB_PER_GB
@@ -351,3 +341,193 @@ class JobController:
             frac = state.reduce_done_gb / self.job.map_output_gb
             reduce_tasks = int(frac * total_reducers + 1e-6)
         return map_tasks + reduce_tasks
+
+
+class ControllerRun:
+    """One in-flight deployment, advanced one interval per :meth:`step`.
+
+    Owns the mutable deployment state the controller's loop used to keep
+    on its stack: the :class:`SystemState`, the cost ledger, the plan
+    history and the executor.  :meth:`JobController.run` is now a thin
+    loop over this class; external schedulers drive it directly and may
+    inject re-plans between steps with :meth:`request_replan` — that is
+    the mechanism the fleet runtime uses to turn substrate events
+    (price spikes, evictions, failures) into targeted adaptations.
+    """
+
+    def __init__(
+        self,
+        controller: JobController,
+        actual: ActualConditions | None = None,
+        on_replan=None,
+    ) -> None:
+        self.controller = controller
+        self.actual = actual or ActualConditions.as_predicted()
+        self.on_replan = on_replan
+        config = controller.config
+        self.deadline = float(controller.goal.deadline_hours or 0.0)
+        self.max_hours = self.deadline * config.max_horizon_factor
+        self.state = SystemState.initial(controller.job)
+        self.ledger = CostLedger()
+        self.outcomes: list[IntervalOutcome] = []
+        self.node_series: list[tuple[float, int]] = []
+        self.task_series: list[tuple[float, int]] = [(0.0, 0)]
+        self.replans = 0
+        self.replan_records: list[ReplanRecord] = []
+        self._pending: tuple[str, str, bool] | None = None
+        self._halted = False
+        plan, estimates = controller._plan(self.state)
+        self.plans: list[ExecutionPlan] = [plan]
+        self._estimates = estimates
+        self._executor = controller._executor(self.state, self.actual, self.ledger)
+
+    # -- driving -----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True once the job finished, halted, or ran out of horizon."""
+        return (
+            self._halted
+            or self._executor.is_complete(self.state)
+            or not self.state.hour < self.max_hours - _EPS
+        )
+
+    def request_replan(
+        self, reason: str, kind: str = "external", learn: bool = False
+    ) -> bool:
+        """Schedule a re-plan before the next interval executes.
+
+        The event-driven entry point: the fleet scheduler calls this
+        when a substrate event (price spike, eviction, node failure,
+        capacity change) concerns this deployment, instead of waiting
+        for the controller's own trigger policy.  With ``learn=True``
+        the last interval's observed node rates are folded into the
+        model first (the deviation-trigger semantics).  Returns
+        ``False`` — and schedules nothing — when the run is already
+        done, the ``max_replans`` cap is reached, or a re-plan is
+        already pending: one re-plan serves every cause that arrived in
+        the same step, and the first request wins (callers budgeting
+        re-plans should only charge for ``True``).
+        """
+        if self.done or self.replans >= self.controller.config.max_replans:
+            return False
+        if self._pending is not None:
+            return False
+        self._pending = (kind, reason, learn)
+        return True
+
+    def step(self) -> IntervalOutcome | None:
+        """Execute the next planned interval; ``None`` once done.
+
+        Order of business: adopt any re-plan requested since the last
+        step, refresh spot bids, execute one interval against the actual
+        conditions, then consult the trigger policy (and the
+        plan-exhausted fallback) for a reactive re-plan.
+        """
+        if self.done:
+            return None
+        controller = self.controller
+        config = controller.config
+        state = self.state
+
+        if self._pending is not None:
+            kind, reason, learn = self._pending
+            self._pending = None
+            if self.replans < config.max_replans:
+                if learn and self.outcomes:
+                    controller._learn_rates(self.outcomes[-1])
+                self._replan(kind, reason)
+
+        plan = self.plans[-1]
+        interval = plan.interval_at(state.hour)
+        controller._update_bids(self._executor, state)
+        outcome = self._executor.execute_interval(interval, state)
+        self.outcomes.append(outcome)
+        self.node_series.append((outcome.start_hour, sum(outcome.nodes.values())))
+        self.task_series.append((state.hour, controller._completed_tasks(state)))
+
+        if self._executor.is_complete(state):
+            return outcome
+        # Reactive re-plans are *scheduled* here and adopted at the top
+        # of the next step, so streamed events stay in causal order:
+        # the triggering interval first, then its re-plan, then the
+        # first interval the new plan executes.
+        decision = controller.triggers.check(self.trigger_context(outcome))
+        if decision is not None and self.replans < config.max_replans:
+            self._pending = (decision.kind, decision.reason, True)
+        elif state.hour >= plan.intervals[-1].end_hour - _EPS:
+            # Plan exhausted but work remains (e.g. persistent out-bid):
+            # force a re-plan to keep making progress.
+            if self.replans >= config.max_replans:
+                self._halted = True
+                return outcome
+            self._pending = (
+                "exhausted", "plan exhausted with work remaining", False
+            )
+        return outcome
+
+    def trigger_context(self, outcome: IntervalOutcome) -> TriggerContext:
+        """The :class:`TriggerContext` for one executed interval — also
+        used by the fleet scheduler to run its own policies over a
+        deployment it is stepping."""
+        controller = self.controller
+        return TriggerContext(
+            outcome=outcome,
+            config=controller.config,
+            job=controller.job,
+            believed=dict(controller._believed),
+            estimates=self._estimates,
+            spot_names=tuple(controller._spot_names),
+            trace=controller.trace,
+            trace_offset_hours=controller.trace_offset_hours,
+            replans=self.replans,
+        )
+
+    def result(self) -> ControllerResult:
+        """The :class:`ControllerResult` for the run so far.
+
+        The list series (outcomes, plans, replan records, node/task
+        series) are copied, so a mid-run snapshot keeps ``plans[1:]``
+        lined up with ``replan_records`` even if the run is stepped
+        further afterwards; ``ledger`` and ``final_state`` remain the
+        run's live objects.
+        """
+        state = self.state
+        completed = self._executor.is_complete(state)
+        return ControllerResult(
+            completed=completed,
+            completion_hours=state.hour,
+            total_cost=self.ledger.total(),
+            ledger=self.ledger,
+            outcomes=list(self.outcomes),
+            plans=list(self.plans),
+            replans=self.replans,
+            deadline_hours=self.deadline,
+            deadline_met=completed and state.hour <= self.deadline + _EPS,
+            final_state=state,
+            node_series=list(self.node_series),
+            task_series=list(self.task_series),
+            replan_records=list(self.replan_records),
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _replan(self, kind: str, reason: str) -> None:
+        controller = self.controller
+        try:
+            plan, estimates = controller._plan(self.state)
+        except PlanningError:
+            plan, estimates = controller._plan_with_extension(self.state)
+        self.plans.append(plan)
+        self._estimates = estimates
+        self.replans += 1
+        record = ReplanRecord(
+            hour=self.state.hour,
+            kind=kind,
+            reason=reason,
+            plan_index=len(self.plans) - 1,
+        )
+        self.replan_records.append(record)
+        if self.on_replan is not None:
+            self.on_replan(record)
+        self._executor = controller._executor(self.state, self.actual, self.ledger)

@@ -1,0 +1,248 @@
+"""Replan triggers: when does a deployment rebuild its plan?
+
+The paper's controller re-plans whenever monitoring shows the world has
+left the model (Sections 5.2, 5.4): out-bid spot instances, destroyed
+spot state, progress shortfalls, mispredicted node rates, mispredicted
+spot prices.  Historically that decision was a private method of
+:class:`~repro.core.controller.JobController`; this module turns it into
+a pluggable *trigger policy* so other schedulers — most importantly the
+fleet runtime (:mod:`repro.fleet`) — can decide differently:
+
+- a standalone controller keeps the paper's behaviour via
+  :func:`default_trigger_policy` (eviction, failure, deviation, price —
+  checked after every executed interval);
+- a fixed-cadence baseline uses :func:`interval_trigger_policy`, which
+  re-plans every *k* hours and reacts to nothing else;
+- the fleet scheduler gives its controllers the interval baseline and
+  injects *event-driven* re-plans itself through
+  :meth:`~repro.core.controller.ControllerRun.request_replan`.
+
+The trigger taxonomy (``Trigger.kind``) is the vocabulary used by
+:class:`~repro.core.controller.ReplanRecord` and the ``replan`` deploy
+events on the wire: ``interval``, ``deviation``, ``price``,
+``eviction``, ``failure``, ``capacity`` (plus ``exhausted`` and
+``external`` for the controller's forced and scheduler-requested
+re-plans).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..cloud.spot import SpotTrace
+    from .controller import ControllerConfig
+    from .executor import IntervalOutcome
+    from .problem import PlannerJob
+
+_EPS = 1e-9
+
+#: The replan-trigger taxonomy (see :mod:`docs/adaptation.md`).
+TRIGGER_KINDS = (
+    "interval",   # scheduled cadence, no observation needed
+    "deviation",  # progress shortfall or node-rate misestimate
+    "price",      # realized spot price off the planning estimate
+    "eviction",   # spot instances terminated by an out-bid hour
+    "failure",    # destroyed state / failed nodes
+    "capacity",   # the provider's available node count changed
+)
+
+
+@dataclass(frozen=True)
+class ReplanDecision:
+    """A trigger's verdict: re-plan now, for this reason."""
+
+    kind: str
+    reason: str
+
+
+@dataclass
+class TriggerContext:
+    """Everything a trigger may inspect after one executed interval.
+
+    Built by :meth:`ControllerRun.trigger_context`; carries the last
+    :class:`IntervalOutcome`, the spot price estimates the current plan
+    was built from, and the controller's current beliefs.
+    """
+
+    outcome: "IntervalOutcome"
+    config: "ControllerConfig"
+    job: "PlannerJob"
+    #: Believed per-node throughput (GB/h) by service, pre-scale.
+    believed: Mapping[str, float] = field(default_factory=dict)
+    #: Spot price estimates the active plan was built from.
+    estimates: Mapping[str, np.ndarray] = field(default_factory=dict)
+    spot_names: Sequence[str] = ()
+    trace: "SpotTrace | None" = None
+    trace_offset_hours: float = 0.0
+    replans: int = 0
+
+
+class Trigger(abc.ABC):
+    """One reason to re-plan; ``check`` returns a decision or ``None``."""
+
+    kind: str = "deviation"
+
+    @abc.abstractmethod
+    def check(self, ctx: TriggerContext) -> ReplanDecision | None:
+        """Decide whether this trigger fires for the given interval."""
+
+    def _fire(self, reason: str) -> ReplanDecision:
+        return ReplanDecision(kind=self.kind, reason=reason)
+
+
+class EvictionTrigger(Trigger):
+    """Spot instances were terminated by an out-bid hour."""
+
+    kind = "eviction"
+
+    def check(self, ctx: TriggerContext) -> ReplanDecision | None:
+        if ctx.outcome.outbid_services:
+            return self._fire(
+                f"out-bid on {','.join(ctx.outcome.outbid_services)}"
+            )
+        return None
+
+
+class FailureTrigger(Trigger):
+    """State was destroyed (spot storage loss, node failure)."""
+
+    kind = "failure"
+
+    def check(self, ctx: TriggerContext) -> ReplanDecision | None:
+        if ctx.outcome.spot_data_lost_gb > 1e-6:
+            return self._fire(
+                f"spot storage loss of {ctx.outcome.spot_data_lost_gb:.1f} GB"
+            )
+        return None
+
+
+class DeviationTrigger(Trigger):
+    """Progress shortfall vs. plan, or observed node rates off belief."""
+
+    kind = "deviation"
+
+    def check(self, ctx: TriggerContext) -> ReplanDecision | None:
+        config = ctx.config
+        outcome = ctx.outcome
+        if outcome.map_shortfall > config.deviation_threshold:
+            return self._fire(f"progress shortfall {outcome.map_shortfall:.0%}")
+        for name, observed in outcome.observed_rates.items():
+            believed = ctx.believed.get(name, 0.0) * ctx.job.throughput_scale
+            if believed <= 0:
+                continue
+            rel = abs(observed - believed) / believed
+            if rel > config.rate_deviation_threshold:
+                return self._fire(f"rate deviation on {name}: {rel:.0%}")
+        return None
+
+
+class PriceTrigger(Trigger):
+    """Realized spot price deviates from the plan's estimate."""
+
+    kind = "price"
+
+    def check(self, ctx: TriggerContext) -> ReplanDecision | None:
+        if ctx.trace is None or not ctx.spot_names or not ctx.estimates:
+            return None
+        outcome = ctx.outcome
+        now = ctx.trace_offset_hours + outcome.start_hour
+        realized = ctx.trace.price_at(now)
+        for name in ctx.spot_names:
+            series = ctx.estimates.get(name)
+            if series is None or len(series) == 0:
+                continue
+            expected = float(series[0]) if outcome.index <= 1 else float(
+                series[min(outcome.index - 1, len(series) - 1)]
+            )
+            if expected > 0 and abs(realized - expected) / expected > (
+                ctx.config.price_deviation_threshold
+            ):
+                return self._fire(f"spot price deviation on {name}")
+        return None
+
+
+class IntervalTrigger(Trigger):
+    """Fixed-cadence re-planning: fire every ``every_hours``, blind to
+    everything else (the paper's non-adaptive strawman, and the fleet
+    benchmark's baseline)."""
+
+    kind = "interval"
+
+    def __init__(self, every_hours: float) -> None:
+        if every_hours <= 0:
+            raise ValueError("every_hours must be positive")
+        self.every_hours = float(every_hours)
+
+    def check(self, ctx: TriggerContext) -> ReplanDecision | None:
+        outcome = ctx.outcome
+        start = outcome.start_hour
+        end = start + outcome.duration_hours
+        # Fires when the interval just executed crossed a cadence mark:
+        # a mark in (start, end] schedules a re-plan before the next one.
+        crossed_end = int((end + _EPS) / self.every_hours)
+        crossed_start = int((start + _EPS) / self.every_hours)
+        if crossed_end > crossed_start:
+            return self._fire(
+                f"scheduled re-plan at t={crossed_end * self.every_hours:g} h"
+            )
+        return None
+
+
+class TriggerPolicy:
+    """An ordered set of triggers; the first that fires wins.
+
+    The order is significant and mirrors the paper's monitor: hard
+    evidence first (evictions, destroyed state), then progress and rate
+    deviations, then price misestimates.
+    """
+
+    def __init__(self, triggers: Sequence[Trigger]) -> None:
+        self.triggers = list(triggers)
+
+    def check(self, ctx: TriggerContext) -> ReplanDecision | None:
+        for trigger in self.triggers:
+            decision = trigger.check(ctx)
+            if decision is not None:
+                return decision
+        return None
+
+    def describe(self) -> str:
+        return " -> ".join(t.kind for t in self.triggers) or "(none)"
+
+
+def default_trigger_policy() -> TriggerPolicy:
+    """The paper's reactive monitor: eviction, failure, deviation, price.
+
+    Reproduces the historical ``JobController`` deviation check exactly,
+    including its precedence.
+    """
+    return TriggerPolicy(
+        [EvictionTrigger(), FailureTrigger(), DeviationTrigger(), PriceTrigger()]
+    )
+
+
+def interval_trigger_policy(every_hours: float) -> TriggerPolicy:
+    """Fixed-cadence-only policy (re-plan every ``every_hours``, react to
+    nothing) — the fleet benchmark's non-adaptive baseline."""
+    return TriggerPolicy([IntervalTrigger(every_hours)])
+
+
+__all__ = [
+    "TRIGGER_KINDS",
+    "DeviationTrigger",
+    "EvictionTrigger",
+    "FailureTrigger",
+    "IntervalTrigger",
+    "PriceTrigger",
+    "ReplanDecision",
+    "Trigger",
+    "TriggerContext",
+    "TriggerPolicy",
+    "default_trigger_policy",
+    "interval_trigger_policy",
+]

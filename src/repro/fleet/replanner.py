@@ -1,0 +1,60 @@
+"""Fleet-wide plan reuse: one warm cache in front of one solver.
+
+When a substrate event touches N deployments at once, the scheduler asks
+each of them to re-plan — but deployments that are in the same state and
+asking the same question must pay for **one** solve, not N.  This reuses
+the multi-tenant service's machinery from the plan-cache work: canonical
+:func:`~repro.service.fingerprint.problem_fingerprint` keys into the
+same :class:`~repro.service.cache.LRUCache`, so identical re-plans
+coalesce into one warm-cache solve exactly like identical tenant
+requests do in :class:`~repro.service.service.PlanningService`.
+"""
+
+from __future__ import annotations
+
+from ..core.plan import ExecutionPlan
+from ..core.planner import Planner
+from ..core.problem import PlanningProblem
+from ..service.cache import LRUCache
+from ..service.fingerprint import problem_fingerprint
+
+__all__ = ["CachingPlanner"]
+
+
+class CachingPlanner:
+    """A :class:`Planner` façade sharing one plan cache across a fleet.
+
+    Duck-types ``Planner.plan`` so a :class:`JobController` can use it
+    unchanged.  Only optimal plans are published to the cache (the same
+    rule the planning service applies: a cut-off incumbent shaped by one
+    caller must not be served to everyone).
+    """
+
+    def __init__(
+        self, planner: Planner | None = None, capacity: int = 512
+    ) -> None:
+        self.planner = planner or Planner()
+        self.cache: LRUCache[ExecutionPlan] = LRUCache(capacity)
+        self.solves = 0
+        self.hits = 0
+
+    def plan(self, problem: PlanningProblem) -> ExecutionPlan:
+        """Solve ``problem``, serving identical problems from the cache."""
+        fingerprint = problem_fingerprint(problem)
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        plan = self.planner.plan(problem)
+        self.solves += 1
+        if plan.solver_status == "optimal":
+            self.cache.put(fingerprint, plan)
+        return plan
+
+    @property
+    def lookups(self) -> int:
+        return self.solves + self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0

@@ -13,18 +13,25 @@ from dataclasses import dataclass, field
 
 
 def percentile(values: list[float], p: float) -> float:
-    """Exact percentile (nearest-rank with linear interpolation)."""
+    """Exact percentile (nearest-rank with linear interpolation).
+
+    Defined for every sample size: an empty sample yields ``0.0`` and a
+    singleton yields its only element, so dashboards polling a series
+    that has not recorded anything yet (or exactly one thing) get a
+    number, never an exception.  Only an out-of-range ``p`` raises —
+    consistently, regardless of sample size.
+    """
     return _percentile_sorted(sorted(values), p)
 
 
 def _percentile_sorted(data: list[float], p: float) -> float:
     """Percentile over already-sorted data (lets callers sort once)."""
-    if not data:
-        return 0.0
     if not 0.0 <= p <= 100.0:
         raise ValueError("percentile must be in [0, 100]")
+    if not data:
+        return 0.0
     if len(data) == 1:
-        return data[0]
+        return float(data[0])
     rank = (p / 100.0) * (len(data) - 1)
     lo = int(rank)
     hi = min(lo + 1, len(data) - 1)

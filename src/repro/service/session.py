@@ -4,9 +4,15 @@ A plan the service accepted is only half the story — Conductor then
 deploys it, monitors progress and re-plans on deviation (paper Sections
 5.2/5.4).  A :class:`DeploySession` runs one tenant's full
 :class:`~repro.core.controller.JobController` loop on a background
-thread and streams each :class:`IntervalOutcome` as it happens, so a
+thread and streams each :class:`IntervalOutcome` (and, opt-in, each
+:class:`~repro.core.controller.ReplanRecord`) as it happens, so a
 front-end can render live progress; the :class:`SessionManager` tracks
 many tenants' sessions side by side.
+
+Sessions are the *threaded* way to run concurrent deployments — each in
+its own private world.  When deployments should share one simulated
+cloud and react to its events together, use the lockstep fleet runtime
+(:mod:`repro.fleet`) instead.
 """
 
 from __future__ import annotations
@@ -14,12 +20,19 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
+import time
 from typing import Iterator
 
 from ..core.conditions import ActualConditions
-from ..core.controller import ControllerConfig, ControllerResult, JobController
+from ..core.controller import (
+    ControllerConfig,
+    ControllerResult,
+    JobController,
+    ReplanRecord,
+)
 from ..core.executor import IntervalOutcome
 from ..core.planner import Planner
+from ..core.triggers import TriggerPolicy
 
 _DONE = object()
 
@@ -52,7 +65,9 @@ class DeploySession:
     def _run(self) -> None:
         try:
             self.result = self.controller.run(
-                self.actual, on_interval=self._events.put
+                self.actual,
+                on_interval=self._events.put,
+                on_replan=self._events.put,
             )
         except Exception as exc:  # surfaced via wait()/events()
             self.error = exc
@@ -61,13 +76,26 @@ class DeploySession:
 
     # -- consumption ------------------------------------------------------
 
-    def events(self, timeout: float | None = None) -> Iterator[IntervalOutcome]:
-        """Yield interval outcomes as the deployment produces them.
+    def events(
+        self,
+        timeout: float | None = None,
+        include_replans: bool = False,
+    ) -> Iterator[IntervalOutcome | ReplanRecord]:
+        """Yield the deployment's progress events as they happen.
 
-        Ends when the controller finishes; raises the controller's
-        exception if the run failed.  ``timeout`` bounds the wait for
-        *each* event; a stalled stream raises :class:`TimeoutError`
-        (the package-wide convention, matching :meth:`wait`).
+        By default every item is an :class:`IntervalOutcome` — one
+        executed plan interval, in order.  With ``include_replans=True``
+        the stream additionally carries a
+        :class:`~repro.core.controller.ReplanRecord` at the moment each
+        re-plan is adopted (immediately *before* the first interval the
+        new plan executes), which is how the orchestrator surfaces
+        ``replan`` deploy events on the wire.
+
+        The iterator ends when the controller finishes and re-raises the
+        controller's exception if the run failed.  ``timeout`` bounds the
+        wait for *each* event; a stalled stream raises
+        :class:`TimeoutError` (the package-wide convention, matching
+        :meth:`wait`).
         """
         while True:
             try:
@@ -78,6 +106,8 @@ class DeploySession:
                 ) from None
             if event is _DONE:
                 break
+            if isinstance(event, ReplanRecord) and not include_replans:
+                continue
             yield event
         if self.error is not None:
             raise self.error
@@ -93,6 +123,16 @@ class DeploySession:
             raise self.error
         assert self.result is not None
         return self.result
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait up to ``timeout`` for completion; True when finished.
+
+        Unlike :meth:`wait` this never raises — neither on timeout nor
+        on a failed run — so callers that only need "is it done yet"
+        (e.g. :meth:`SessionManager.join_all`) can poll safely.
+        """
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
 
     @property
     def running(self) -> bool:
@@ -121,6 +161,7 @@ class SessionManager:
         trace=None,
         trace_offset_hours: float = 0.0,
         problem_kwargs: dict | None = None,
+        triggers: TriggerPolicy | None = None,
     ) -> DeploySession:
         """Launch a controller loop for an accepted plan's job."""
         controller = JobController(
@@ -134,6 +175,7 @@ class SessionManager:
             trace=trace,
             trace_offset_hours=trace_offset_hours,
             problem_kwargs=problem_kwargs,
+            triggers=triggers,
         )
         with self._lock:
             session_id = next(self._ids)
@@ -152,7 +194,21 @@ class SessionManager:
             found = [s for s in found if s.tenant == tenant]
         return found
 
-    def join_all(self, timeout: float | None = None) -> None:
+    def join_all(self, timeout: float | None = None) -> list[DeploySession]:
+        """Wait for every session; return the ones still running.
+
+        ``timeout`` bounds the *total* wait across all sessions.  When a
+        session's thread outlives the budget, ``join_all`` returns it in
+        the result list instead of hanging or raising, so a shutdown
+        path can report stragglers and move on.  An empty list means
+        everything finished.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        stragglers: list[DeploySession] = []
         for session in self.sessions():
-            if session.running:
-                session.wait(timeout)
+            remaining: float | None = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            if not session.join(remaining):
+                stragglers.append(session)
+        return stragglers

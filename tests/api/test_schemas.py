@@ -78,6 +78,16 @@ SAMPLES = [
         tenant="acme",
         session_id=7,
     ),
+    DeployEventV1(
+        index=4,
+        start_hour=4.0,
+        duration_hours=0.0,
+        tenant="acme",
+        session_id=7,
+        event="replan",
+        trigger="eviction",
+        reason="out-bid on aws.ec2.spot",
+    ),
     HelloV1(version="0.3.0"),
 ]
 
@@ -222,3 +232,39 @@ class TestCompilation:
         assert job.name == "wc"
         assert job.input_gb == 8.0
         assert job.map_output_ratio == 0.5
+
+
+class TestDeployEventKinds:
+    """The additive ``event``/``trigger``/``reason`` fields (fleet work)."""
+
+    def test_pre_fleet_payload_still_decodes(self):
+        # A v1 payload written before the replan kind existed carries no
+        # event field; it must decode as a plain interval event.
+        payload = {
+            "schema_version": 1, "kind": "deploy_event",
+            "index": 1, "start_hour": 0.0, "duration_hours": 1.0,
+        }
+        event = DeployEventV1.from_dict(payload)
+        assert event.event == "interval"
+        assert event.trigger == "" and event.reason == ""
+
+    def test_unknown_event_kind_is_rejected(self):
+        with pytest.raises(SchemaError, match="deploy event kind"):
+            DeployEventV1(index=1, start_hour=0.0, duration_hours=1.0,
+                          event="reboot")
+
+    def test_from_replan_wraps_a_record(self):
+        from repro.core.controller import ReplanRecord
+
+        record = ReplanRecord(hour=5.0, kind="price",
+                              reason="spot price deviation", plan_index=2)
+        event = DeployEventV1.from_replan(
+            record, tenant="acme", session_id=3, index=4
+        )
+        assert event.event == "replan"
+        assert event.trigger == "price"
+        assert event.reason == "spot price deviation"
+        assert event.start_hour == 5.0
+        assert event.duration_hours == 0.0
+        assert event.index == 4
+        assert decode(encode(event)) == event

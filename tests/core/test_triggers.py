@@ -1,0 +1,206 @@
+"""Replan trigger policies: taxonomy, precedence, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import SpotTrace, public_cloud
+from repro.core import (
+    Goal,
+    IntervalTrigger,
+    NetworkConditions,
+    PlannerJob,
+    TriggerContext,
+    default_trigger_policy,
+    interval_trigger_policy,
+)
+from repro.core.conditions import ActualConditions
+from repro.core.controller import ControllerConfig, JobController
+from repro.core.executor import IntervalOutcome
+
+NET = NetworkConditions.from_mbit_s(16.0)
+JOB = PlannerJob(name="kmeans", input_gb=8.0)
+
+
+def outcome(index=2, start_hour=1.0, duration=1.0, **kwargs):
+    defaults = dict(
+        nodes={"ec2.m1.large": 4},
+        uploaded_gb=0.0,
+        map_gb=4.0,
+        reduce_gb=0.0,
+        downloaded_gb=0.0,
+        planned_map_gb=4.0,
+        planned_upload_gb=0.0,
+        cost=1.0,
+    )
+    defaults.update(kwargs)
+    return IntervalOutcome(
+        index=index, start_hour=start_hour, duration_hours=duration, **defaults
+    )
+
+
+def context(out, **kwargs):
+    defaults = dict(
+        config=ControllerConfig(),
+        job=JOB,
+        believed={"ec2.m1.large": 1.0},
+    )
+    defaults.update(kwargs)
+    return TriggerContext(outcome=out, **defaults)
+
+
+class TestDefaultPolicy:
+    def test_quiet_interval_fires_nothing(self):
+        ctx = context(outcome(observed_rates={"ec2.m1.large": 1.0}))
+        assert default_trigger_policy().check(ctx) is None
+
+    def test_eviction_has_highest_precedence(self):
+        out = outcome(
+            outbid_services=["ec2.m1.large.spot"],
+            spot_data_lost_gb=2.0,
+            map_gb=0.0,  # also a 100% shortfall
+        )
+        decision = default_trigger_policy().check(context(out))
+        assert decision.kind == "eviction"
+        assert "out-bid on ec2.m1.large.spot" in decision.reason
+
+    def test_storage_loss_is_a_failure(self):
+        decision = default_trigger_policy().check(
+            context(outcome(spot_data_lost_gb=1.5))
+        )
+        assert decision.kind == "failure"
+        assert "1.5 GB" in decision.reason
+
+    def test_progress_shortfall_is_a_deviation(self):
+        decision = default_trigger_policy().check(
+            context(outcome(map_gb=2.0, planned_map_gb=4.0))
+        )
+        assert decision.kind == "deviation"
+        assert "shortfall" in decision.reason
+
+    def test_rate_deviation_uses_believed_rates(self):
+        out = outcome(observed_rates={"ec2.m1.large": 2.0})
+        decision = default_trigger_policy().check(
+            context(out, believed={"ec2.m1.large": 1.0})
+        )
+        assert decision.kind == "deviation"
+        assert "rate deviation" in decision.reason
+        # Within threshold: quiet.
+        ok = outcome(observed_rates={"ec2.m1.large": 1.05})
+        assert default_trigger_policy().check(
+            context(ok, believed={"ec2.m1.large": 1.0})
+        ) is None
+
+    def test_price_deviation_compares_estimate_to_trace(self):
+        trace = SpotTrace(np.full(48, 0.40), label="spiked")
+        out = outcome(index=1, observed_rates={})
+        ctx = context(
+            out,
+            trace=trace,
+            spot_names=("ec2.m1.large.spot",),
+            estimates={"ec2.m1.large.spot": np.full(6, 0.16)},
+        )
+        decision = default_trigger_policy().check(ctx)
+        assert decision.kind == "price"
+        # Estimates that match the market stay quiet.
+        ctx_ok = context(
+            out,
+            trace=trace,
+            spot_names=("ec2.m1.large.spot",),
+            estimates={"ec2.m1.large.spot": np.full(6, 0.40)},
+        )
+        assert default_trigger_policy().check(ctx_ok) is None
+
+
+class TestIntervalTrigger:
+    def test_fires_exactly_on_cadence_crossings(self):
+        trigger = IntervalTrigger(6.0)
+        fired = [
+            bool(trigger.check(context(outcome(start_hour=float(h)))))
+            for h in range(12)
+        ]
+        # Interval [5, 6) ends on the mark at 6; [11, 12) on the one at 12.
+        assert fired == [False] * 5 + [True] + [False] * 5 + [True]
+
+    def test_cadence_longer_than_interval(self):
+        trigger = IntervalTrigger(2.5)
+        hours = [h for h in range(10)
+                 if trigger.check(context(outcome(start_hour=float(h))))]
+        # Marks at 2.5, 5, 7.5, 10 land inside intervals [2,3), [4,5), ...
+        assert hours == [2, 4, 7, 9]
+
+    def test_interval_policy_ignores_everything_else(self):
+        policy = interval_trigger_policy(6.0)
+        noisy = outcome(
+            start_hour=1.0,
+            outbid_services=["ec2.m1.large.spot"],
+            spot_data_lost_gb=3.0,
+            map_gb=0.0,
+            observed_rates={"ec2.m1.large": 9.0},
+        )
+        assert policy.check(context(noisy)) is None
+
+    def test_rejects_nonpositive_cadence(self):
+        with pytest.raises(ValueError):
+            IntervalTrigger(0.0)
+
+
+class TestControllerRunStepping:
+    def controller(self, **kwargs):
+        return JobController(
+            JOB,
+            public_cloud(),
+            Goal.min_cost(deadline_hours=4.0),
+            network=NET,
+            **kwargs,
+        )
+
+    def test_stepping_matches_run(self):
+        actual = ActualConditions(
+            throughput_gb_per_hour={"ec2.m1.large": 0.44, "ec2.m1.xlarge": 0.3}
+        )
+        whole = self.controller().run(actual)
+        run = self.controller().start(actual)
+        outcomes = []
+        while (out := run.step()) is not None:
+            outcomes.append(out)
+        stepped = run.result()
+        assert stepped.completed == whole.completed
+        assert stepped.replans == whole.replans
+        assert stepped.total_cost == pytest.approx(whole.total_cost)
+        assert [o.index for o in outcomes] == [o.index for o in whole.outcomes]
+
+    def test_replan_records_name_their_trigger(self):
+        actual = ActualConditions(
+            throughput_gb_per_hour={"ec2.m1.large": 0.44, "ec2.m1.xlarge": 0.3}
+        )
+        result = self.controller().run(actual)
+        assert result.replans >= 1
+        assert len(result.replan_records) == result.replans
+        assert len(result.plans) == result.replans + 1
+        for record in result.replan_records:
+            assert record.kind in (
+                "interval", "deviation", "price", "eviction", "failure",
+                "capacity", "exhausted", "external",
+            )
+            assert result.plans[record.plan_index] is not None
+
+    def test_request_replan_external(self):
+        run = self.controller().start()
+        assert run.step() is not None
+        assert run.request_replan("operator asked", kind="external")
+        run.step()
+        assert any(r.kind == "external" for r in run.replan_records)
+
+    def test_request_replan_refused_when_done(self):
+        controller = self.controller()
+        run = controller.start()
+        while run.step() is not None:
+            pass
+        assert run.done
+        assert not run.request_replan("too late")
+
+    def test_request_replan_respects_cap(self):
+        controller = self.controller(config=ControllerConfig(max_replans=0))
+        run = controller.start()
+        run.step()
+        assert not run.request_replan("never allowed")

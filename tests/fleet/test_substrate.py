@@ -1,0 +1,165 @@
+"""Substrate event emission: spikes, evictions, failures, capacity."""
+
+import numpy as np
+
+from repro.cloud import SpotTrace
+from repro.fleet import (
+    CapacityChange,
+    FailureInjector,
+    FailureSpec,
+    NodeFailure,
+    PriceSpike,
+    SpotEviction,
+    Substrate,
+)
+
+SPOT = "ec2.m1.large.spot"
+
+
+def trace_from(prices):
+    return SpotTrace(np.asarray(prices, dtype=float), label="test")
+
+
+class TestPriceEvents:
+    def test_spike_and_crash_both_emit(self):
+        # 0.16 -> 0.30 (+88%) at hour 2, 0.30 -> 0.16 (-47%) at hour 4.
+        substrate = Substrate(
+            {SPOT: trace_from([0.16, 0.16, 0.30, 0.30, 0.16, 0.16])}
+        )
+        events = substrate.advance(0.0, 6.0)
+        spikes = [e for e in events if isinstance(e, PriceSpike)]
+        assert [e.hour for e in spikes] == [2.0, 4.0]
+        import pytest
+
+        assert spikes[0].rel_change == pytest.approx(0.875)
+        assert spikes[1].rel_change == pytest.approx(-0.467, abs=1e-3)
+
+    def test_moves_below_threshold_stay_quiet(self):
+        substrate = Substrate(
+            {SPOT: trace_from([0.16, 0.18, 0.20, 0.22])}, spike_threshold=0.25
+        )
+        assert substrate.advance(0.0, 4.0) == []
+
+    def test_eviction_fires_when_crossing_the_ceiling(self):
+        prices = [0.16, 0.16, 0.16, 0.16, 0.40, 0.40, 0.16]
+        substrate = Substrate(
+            {SPOT: trace_from(prices)},
+            eviction_bids={SPOT: 0.34},
+            spike_threshold=10.0,  # isolate eviction events
+        )
+        events = substrate.advance(0.0, 7.0)
+        evictions = [e for e in events if isinstance(e, SpotEviction)]
+        # One event at the crossing, not one per expensive hour.
+        assert [e.hour for e in evictions] == [4.0]
+        assert evictions[0].bid_ceiling == 0.34
+
+    def test_eviction_exactly_on_an_interval_boundary(self):
+        """The satellite edge case: the price crosses the ceiling exactly
+        at an interval boundary.  The event belongs to the interval that
+        *starts* at the boundary (prices are hourly: ``price_at`` floors),
+        and chunked advancing sees it exactly once."""
+        prices = [0.16] * 4 + [0.50] + [0.16] * 3
+        substrate = Substrate(
+            {SPOT: trace_from(prices)},
+            eviction_bids={SPOT: 0.34},
+            spike_threshold=10.0,
+        )
+        # The hour-by-hour chunking a lockstep fleet performs:
+        before = substrate.advance(3.0, 4.0)
+        boundary = substrate.advance(4.0, 5.0)
+        after = substrate.advance(5.0, 6.0)
+        assert before == []
+        assert [type(e) for e in boundary] == [SpotEviction]
+        assert boundary[0].hour == 4.0
+        assert after == []
+
+    def test_chunked_advance_equals_one_sweep(self):
+        # advance() is forward-stateful (capacity, eviction episodes):
+        # one substrate advanced over contiguous windows — the lockstep
+        # scheduler's call pattern — must see the same events as one
+        # substrate sweeping the whole range at once.
+        prices = [0.16, 0.30, 0.16, 0.40, 0.40, 0.35, 0.16]
+        make = lambda: Substrate(
+            {SPOT: trace_from(prices)}, eviction_bids={SPOT: 0.34}
+        )
+        sweep = make().advance(0.0, 7.0)
+        stepper = make()
+        chunked = [
+            event
+            for hour in range(7)
+            for event in stepper.advance(float(hour), float(hour + 1))
+        ]
+        assert sweep == chunked
+
+    def test_eviction_episode_in_progress_at_start_is_announced(self):
+        """A fleet may start while the market already sits above the
+        ceiling: the first narrated hour announces the ongoing episode
+        (once), even though there is no upward crossing to observe."""
+        substrate = Substrate(
+            {SPOT: trace_from([0.50] * 48)},
+            eviction_bids={SPOT: 0.34},
+            spike_threshold=10.0,
+        )
+        first = substrate.advance(24.0, 25.0)
+        assert [type(e) for e in first] == [SpotEviction]
+        assert first[0].hour == 24.0
+        # Still above the ceiling: the episode is not re-announced.
+        assert substrate.advance(25.0, 30.0) == []
+
+
+class TestFailures:
+    def test_scheduled_failures_are_reported_once(self):
+        injector = FailureInjector(
+            schedule=[FailureSpec(hour=2.0, service=SPOT, severity=0.6)]
+        )
+        substrate = Substrate(
+            {SPOT: trace_from([0.16] * 6)}, failures=injector
+        )
+        events = substrate.advance(0.0, 6.0)
+        failures = [e for e in events if isinstance(e, NodeFailure)]
+        assert len(failures) == 1
+        assert failures[0].hour == 2.0
+        assert failures[0].severity == 0.6
+
+    def test_random_failures_are_deterministic_and_chunk_stable(self):
+        def stream(chunk):
+            injector = FailureInjector(rate_per_hour=0.2, seed=7)
+            substrate = Substrate(
+                {SPOT: trace_from([0.16] * 48)}, failures=injector
+            )
+            events = []
+            hour = 0.0
+            while hour < 48.0:
+                events.extend(
+                    e for e in substrate.advance(hour, hour + chunk)
+                    if isinstance(e, NodeFailure)
+                )
+                hour += chunk
+            return [(e.hour, e.service) for e in events]
+
+        assert stream(1.0) == stream(4.0)
+        assert len(stream(1.0)) > 0
+
+    def test_rate_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            FailureInjector(rate_per_hour=1.5)
+        with pytest.raises(ValueError):
+            FailureInjector(severity=0.0)
+
+
+class TestCapacity:
+    def test_schedule_updates_capacity_and_reports_once(self):
+        substrate = Substrate(
+            {SPOT: trace_from([0.16] * 10)},
+            capacity={SPOT: 32},
+            capacity_schedule=[(3.0, SPOT, 8)],
+        )
+        assert substrate.capacity_of(SPOT) == 32
+        events = substrate.advance(0.0, 5.0)
+        changes = [e for e in events if isinstance(e, CapacityChange)]
+        assert [(e.hour, e.nodes) for e in changes] == [(3.0, 8)]
+        assert substrate.capacity_of(SPOT) == 8
+        # Already applied: a later sweep does not re-announce it.
+        assert substrate.advance(5.0, 10.0) == []

@@ -59,6 +59,33 @@ class TestDeploySession:
         assert len(outcomes) == len(result.outcomes)
 
 
+class TestReplanStreaming:
+    def test_replans_are_streamed_on_request(self):
+        from repro.core.controller import ReplanRecord
+
+        manager = SessionManager()
+        session = manager.start(
+            "acme",
+            PlannerJob(name="kmeans", input_gb=4.0),
+            public_cloud(),
+            Goal.min_cost(deadline_hours=4.0),
+            network=NetworkConditions.from_mbit_s(16.0),
+            actual=ActualConditions(
+                throughput_gb_per_hour={"ec2.m1.large": 0.22,
+                                        "ec2.m1.xlarge": 0.42}
+            ),
+        )
+        streamed = list(session.events(timeout=600.0, include_replans=True))
+        result = session.wait(timeout=600.0)
+        replans = [e for e in streamed if isinstance(e, ReplanRecord)]
+        intervals = [e for e in streamed if isinstance(e, IntervalOutcome)]
+        assert result.replans >= 1
+        assert len(replans) == result.replans
+        assert len(intervals) == len(result.outcomes)
+        # Default stream stays intervals-only (backwards compatible).
+        assert replans and all(r.kind for r in replans)
+
+
 class TestSessionManager:
     def test_tracks_sessions_per_tenant(self):
         manager = SessionManager()
@@ -77,4 +104,32 @@ class TestSessionManager:
         first = start_small_session(manager)
         second = start_small_session(manager)
         assert second.session_id > first.session_id
-        manager.join_all(timeout=600.0)
+        assert manager.join_all(timeout=600.0) == []
+
+    def test_join_all_returns_stragglers_instead_of_hanging(self):
+        """The satellite edge case: a session's thread outlives the
+        timeout; ``join_all`` must come back (with the straggler) rather
+        than hang or raise."""
+        import threading
+        import time
+
+        from repro.service.session import DeploySession
+
+        release = threading.Event()
+
+        class SlowController:
+            def run(self, actual=None, on_interval=None, on_replan=None):
+                release.wait(timeout=30.0)
+
+        manager = SessionManager()
+        session = DeploySession(99, "slow", SlowController())
+        manager._sessions[99] = session
+        session._start()
+        started = time.monotonic()
+        stragglers = manager.join_all(timeout=0.2)
+        assert time.monotonic() - started < 5.0
+        assert stragglers == [session]
+        assert session.running
+        release.set()
+        assert manager.join_all(timeout=30.0) == []
+        assert not session.running

@@ -335,3 +335,44 @@ class TestExport:
         assert main(
             ["export", str(tmp_path / "model.txt"), "--deadline", "3"]
         ) == 2
+
+
+class TestFleet:
+    def test_fleet_streams_versioned_events(self, capsys):
+        import json
+
+        assert main(
+            ["fleet", "--deployments", "2", "--input-gb", "2",
+             "--deadline", "8", "--days", "5", "--predictor", "p0"]
+        ) == 0
+        captured = capsys.readouterr()
+        events = [json.loads(line) for line in captured.out.splitlines()]
+        assert events
+        assert all(e["kind"] == "deploy_event" for e in events)
+        assert all(e["schema_version"] == 1 for e in events)
+        # Interval events omit the additive fields (pre-fleet readers
+        # reject unknown keys); replan events must carry them.
+        assert all(
+            e.get("event", "interval") in ("interval", "replan")
+            for e in events
+        )
+        assert {e["tenant"] for e in events} == {"tenant-1", "tenant-2"}
+        assert "fleet (event): 2 deployments" in captured.err
+
+    def test_fleet_interval_mode_and_budget(self, capsys):
+        assert main(
+            ["fleet", "--deployments", "2", "--input-gb", "2",
+             "--deadline", "8", "--days", "5", "--predictor", "p0",
+             "--mode", "interval", "--replan-budget", "0"]
+        ) == 0
+        assert "fleet (interval)" in capsys.readouterr().err
+
+    def test_fleet_rejects_bad_arguments(self, capsys):
+        assert main(["fleet", "--deployments", "0"]) == 2
+        assert "--deployments" in capsys.readouterr().err
+        assert main(["fleet", "--predictor", "psychic"]) == 2
+        assert "unknown predictor" in capsys.readouterr().err
+        assert main(["fleet", "--failure-rate", "1.0"]) == 2
+        assert "--failure-rate" in capsys.readouterr().err
+        assert main(["fleet", "--failure-rate", "-0.1"]) == 2
+        assert "--failure-rate" in capsys.readouterr().err

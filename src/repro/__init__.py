@@ -33,6 +33,6 @@ Subpackages
     micro-benchmark.
 """
 
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 __all__ = ["__version__"]

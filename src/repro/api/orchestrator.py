@@ -298,6 +298,7 @@ class Orchestrator:
         trace=None,
         trace_offset_hours: float = 0.0,
         event_timeout: float | None = None,
+        tracer=None,
     ):
         """Run the deploy/monitor/adapt loop for one spec to completion.
 
@@ -307,8 +308,47 @@ class Orchestrator:
         :class:`~repro.core.controller.ControllerResult`.  ``actual``
         injects real-world conditions (the Fig. 12 deviation experiments);
         ``predictor``/``trace`` are required for ``spot``-catalog specs.
+
+        ``tracer`` (a :class:`~repro.obs.trace.RunTracer`) captures the
+        run as a durable event-sourced trace.  If ``begin`` has not been
+        called yet, the orchestrator opens it here — on the calling
+        thread, before the session thread exists — with the canonical
+        deploy scenario (``tenant``, ``spec.to_dict()``, plus the
+        serializable conditions/config knobs), so identical deployments
+        trace under identical run ids and replay can rebuild the run.
+        A spot-catalog deploy (price ``trace``/``spot_traces``) is not
+        replayable from a deploy scenario — trace those under the fleet
+        runtime, whose scenario names its synthetic trace — so auto-begin
+        rejects it; a caller that begins the tracer itself takes over
+        that responsibility.
         """
         services, goal, network, problem_kwargs = self._controller_inputs(spec)
+        if tracer is not None and not tracer.run_id:
+            if trace is not None or (actual is not None and actual.spot_traces):
+                raise OrchestratorError(ErrorV1(
+                    code="bad_request",
+                    message="a spot-trace deploy cannot be traced "
+                    "replayably; run it under the fleet runtime",
+                ))
+            from dataclasses import asdict
+
+            from .. import __version__
+
+            scenario = {"tenant": tenant, "spec": spec.to_dict()}
+            if actual is not None:
+                scenario["actual"] = {
+                    "throughput_gb_per_hour": dict(
+                        actual.throughput_gb_per_hour
+                    ),
+                    "uplink_factor": actual.uplink_factor,
+                    "downlink_factor": actual.downlink_factor,
+                    "spot_storage_volatile": actual.spot_storage_volatile,
+                }
+            if controller_config is not None:
+                scenario["controller_config"] = asdict(controller_config)
+            if trace_offset_hours:
+                scenario["trace_offset_hours"] = trace_offset_hours
+            tracer.begin("deploy", scenario, version=__version__)
         try:
             session = self.sessions.start(
                 tenant,
@@ -323,6 +363,7 @@ class Orchestrator:
                 trace=trace,
                 trace_offset_hours=trace_offset_hours,
                 problem_kwargs=problem_kwargs,
+                tracer=tracer,
             )
         except ValueError as exc:
             raise OrchestratorError(
@@ -365,6 +406,7 @@ class Orchestrator:
         predictor=None,
         on_event=None,
         actual_rates=None,
+        tracer=None,
     ):
         """Run many deployments over one shared substrate (:mod:`repro.fleet`).
 
@@ -379,7 +421,11 @@ class Orchestrator:
 
         ``predictor`` applies to every spot-catalog deployment;
         ``actual_rates`` optionally maps tenant -> ground-truth per-node
-        rates for deviation experiments.
+        rates for deviation experiments.  ``tracer`` must already have
+        ``begin`` called — only the caller knows the fleet's scenario
+        dict (see :func:`repro.obs.replay.fleet_inputs`); the scheduler
+        then narrates lifecycle, substrate, interval/replan, span and
+        ``run_end`` records into it.
         """
         # Imported lazily: repro.fleet sits *above* the api layer and
         # importing it at module scope would be circular.
@@ -412,7 +458,7 @@ class Orchestrator:
                     ErrorV1(code="bad_request", message=str(exc))
                 ) from exc
         try:
-            return scheduler.run(on_event=on_event)
+            return scheduler.run(on_event=on_event, tracer=tracer)
         except PlanningError as exc:
             raise OrchestratorError(error_v1_from_exception(exc)) from exc
 

@@ -47,19 +47,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .cloud import (
-    aws_like_trace,
-    electricity_like_trace,
-    hybrid_cloud,
-    load_services,
-    public_cloud,
-    to_xml,
-)
+from .cloud import hybrid_cloud, load_services, public_cloud, to_xml
 from .core import (
-    CurrentPricePredictor,
-    OptimalPredictor,
     PlannerJob,
-    WindowMaxPredictor,
     run_conductor,
     run_hadoop_direct,
     run_hadoop_s3,
@@ -144,10 +134,18 @@ def _cmd_deploy_stream(args) -> int:
     """Live controller deployment, streaming versioned deploy events."""
     from .api import Orchestrator, OrchestratorError, SchemaError, encode
 
+    writer = tracer = None
+    if getattr(args, "trace_log", None):
+        from .obs.trace import RunTracer, TraceWriter
+
+        writer = TraceWriter(args.trace_log)
+        tracer = RunTracer(writer)
     orchestrator = Orchestrator()
     try:
         result = orchestrator.deploy(
-            _spec_for(args), on_event=lambda event: print(encode(event))
+            _spec_for(args),
+            on_event=lambda event: print(encode(event)),
+            tracer=tracer,
         )
     except SchemaError as exc:
         print(f"bad job spec: {exc}", file=sys.stderr)
@@ -156,6 +154,9 @@ def _cmd_deploy_stream(args) -> int:
         print(f"deployment failed [{exc.error.code}]: {exc.error.message}",
               file=sys.stderr)
         return 1
+    finally:
+        if writer is not None:
+            writer.close()
     print(f"deployed: ${result.total_cost:.2f}, "
           f"{result.completion_hours:.2f} h, {result.replans} re-plans "
           f"({'met' if result.deadline_met else 'MISSED'} the deadline)")
@@ -174,6 +175,10 @@ def cmd_deploy(args) -> int:
                   file=sys.stderr)
             return 2
         return _cmd_deploy_stream(args)
+    if args.trace_log:
+        print("--trace-log requires --stream (the live controller loop "
+              "is what gets traced)", file=sys.stderr)
+        return 2
     try:
         scenario = scenario_for(_spec_for(args))
     except (SchemaError, ValueError) as exc:
@@ -233,41 +238,41 @@ def cmd_spot(args) -> int:
 
 def _trace_for(name: str, days: int, seed: int):
     """Shared synthetic-trace selector for ``spot`` and ``fleet``."""
-    maker = electricity_like_trace if name == "electricity" else aws_like_trace
-    return maker(days=days, seed=seed)
+    from .obs.replay import trace_for
+
+    return trace_for(name, days, seed)
 
 
 def _predictor_for(name: str):
     """Shared predictor selector for the ``spot`` and ``fleet`` commands."""
-    predictors = {
-        "opt": OptimalPredictor,
-        "p0": CurrentPricePredictor,
-    }
-    if name in predictors:
-        return predictors[name]()
-    if name.startswith("p") and name[1:].isdigit():
-        return WindowMaxPredictor(int(name[1:]))
-    return None
+    from .obs.replay import predictor_for
+
+    return predictor_for(name)
+
+
+def _write_metrics_json(path: str, snapshot: dict) -> None:
+    """Write a unified telemetry snapshot (obs registry format)."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def cmd_fleet(args) -> int:
     """Run concurrent deployments over one substrate, streaming events.
 
-    Stdout carries one versioned ``deploy_event`` JSON line per executed
-    interval and per adopted re-plan (``"event": "replan"``, with the
-    trigger kind and reason); the fleet summary goes to stderr, keeping
-    stdout machine-parseable end to end.
+    Stdout speaks the same protocol ``serve`` does: a versioned
+    ``hello`` line first, then one ``deploy_event`` JSON line per
+    executed interval and per adopted re-plan (``"event": "replan"``,
+    with the trigger kind and reason); the fleet summary goes to stderr,
+    keeping stdout machine-parseable end to end.  ``--trace-log PATH``
+    additionally appends the run's full event-sourced trace —
+    lifecycle, substrate events, solver spans and the deterministic
+    ``run_end`` summary — for ``repro replay`` / ``repro trace``.
     """
-    from .api import (
-        GoalSpec,
-        JobSpec,
-        NetworkSpec,
-        Orchestrator,
-        OrchestratorError,
-        encode,
-    )
-    from .core.spot_sim import spot_services
-    from .fleet import FailureInjector, FleetConfig, Substrate
+    from .api import HelloV1, Orchestrator, OrchestratorError, encode
+    from .obs.replay import fleet_inputs
 
     if args.deployments < 1:
         print("--deployments must be >= 1", file=sys.stderr)
@@ -275,45 +280,37 @@ def cmd_fleet(args) -> int:
     if not 0.0 <= args.failure_rate < 1.0:
         print("--failure-rate must be in [0, 1)", file=sys.stderr)
         return 2
-    predictor = _predictor_for(args.predictor)
-    if predictor is None:
-        print(f"unknown predictor {args.predictor!r}", file=sys.stderr)
-        return 2
-    trace = _trace_for(args.trace, args.days, args.seed)
-    spot = next(s for s in spot_services() if s.is_spot)
-    failures = (
-        FailureInjector(rate_per_hour=args.failure_rate, seed=args.seed)
-        if args.failure_rate > 0
-        else None
-    )
-    substrate = Substrate(
-        {spot.name: trace},
-        eviction_bids={spot.name: spot.price_per_node_hour},
-        failures=failures,
-    )
-    specs = [
-        (
-            f"tenant-{i + 1}",
-            JobSpec(
-                name=f"job-{i + 1}",
-                input_gb=args.input_gb,
-                goal=GoalSpec(deadline_hours=args.deadline),
-                network=NetworkSpec(uplink_mbit_s=args.uplink_mbit),
-                catalog="spot",
-            ),
-        )
-        for i in range(args.deployments)
-    ]
+    scenario = {
+        "deployments": args.deployments,
+        "mode": args.mode,
+        "cadence": args.cadence,
+        "replan_budget": args.replan_budget,
+        "start_hour": args.start_hour,
+        "trace": args.trace,
+        "days": args.days,
+        "seed": args.seed,
+        "predictor": args.predictor,
+        "failure_rate": args.failure_rate,
+        "input_gb": args.input_gb,
+        "deadline": args.deadline,
+        "uplink_mbit": args.uplink_mbit,
+    }
     try:
-        config = FleetConfig(
-            mode=args.mode,
-            interval_cadence_hours=args.cadence,
-            replan_budget=args.replan_budget,
-            start_hour=args.start_hour,
-        )
+        specs, substrate, config, predictor = fleet_inputs(scenario)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    writer = tracer = None
+    registry = None
+    if args.trace_log:
+        from .obs import MetricsRegistry
+        from .obs.trace import RunTracer, TraceWriter
+
+        registry = MetricsRegistry()
+        writer = TraceWriter(args.trace_log)
+        tracer = RunTracer(writer, registry=registry)
+        tracer.begin("fleet", scenario, version=package_version())
+    print(encode(HelloV1(version=package_version())))
     try:
         result = Orchestrator().fleet(
             specs,
@@ -321,13 +318,91 @@ def cmd_fleet(args) -> int:
             fleet_config=config,
             predictor=predictor,
             on_event=lambda event: print(encode(event)),
+            tracer=tracer,
         )
     except OrchestratorError as exc:
         print(f"fleet failed [{exc.error.code}]: {exc.error.message}",
               file=sys.stderr)
         return 1
+    finally:
+        if writer is not None:
+            writer.close()
     print(result.describe(), file=sys.stderr)
+    if args.metrics_json and registry is not None:
+        _write_metrics_json(args.metrics_json, registry.snapshot())
     return 0 if result.completed == len(specs) else 1
+
+
+def cmd_replay(args) -> int:
+    """Replay a trace log: inspect (default), ``--verify`` or ``--resume``.
+
+    Verify mode re-executes the log's recorded scenario and diffs the
+    deterministic record streams — exit 1 on divergence.  Resume mode
+    finishes a crashed run (a log without ``run_end``): ``deploy`` logs
+    rehydrate from their last ``snapshot`` record, ``fleet`` logs
+    recover by prefix-checked re-execution.  Inspect mode prints the
+    hour-stamped timeline; ``--mermaid PATH`` also writes a gantt chart.
+    """
+    from .obs import TraceError, read_trace
+
+    try:
+        records = read_trace(args.log)
+    except (TraceError, OSError) as exc:
+        print(f"bad trace log: {exc}", file=sys.stderr)
+        return 2
+    if args.verify:
+        from .obs.replay import verify
+
+        try:
+            report = verify(records)
+        except (TraceError, ValueError) as exc:
+            print(f"replay failed: {exc}", file=sys.stderr)
+            return 2
+        print(report.describe())
+        return 0 if report.ok else 1
+    if args.resume:
+        from .obs.replay import resume
+
+        try:
+            result = resume(records)
+        except (TraceError, ValueError) as exc:
+            print(f"resume failed: {exc}", file=sys.stderr)
+            return 2
+        if hasattr(result, "describe"):
+            print(result.describe())
+        else:
+            print(f"resumed: ${result.total_cost:.2f}, "
+                  f"{result.completion_hours:.2f} h, "
+                  f"{result.replans} re-plans "
+                  f"({'met' if result.deadline_met else 'MISSED'} "
+                  f"the deadline)")
+        return 0
+    from .obs.timeline import render_timeline, to_mermaid
+
+    print(render_timeline(records))
+    if args.mermaid:
+        with open(args.mermaid, "w", encoding="utf-8") as handle:
+            handle.write(to_mermaid(records) + "\n")
+        print(f"wrote {args.mermaid}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Trace-log analysis: ``summarize`` folds a log into the unified
+    telemetry snapshot format (the same shape ``--metrics-json`` files
+    and ``metrics.registry.snapshot()`` carry)."""
+    import json
+
+    from .obs import TraceError, read_trace
+    from .obs.summary import summarize_records
+
+    try:
+        records = read_trace(args.log)
+    except (TraceError, OSError) as exc:
+        print(f"bad trace log: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(summarize_records(records), indent=2, sort_keys=True))
+    return 0
 
 
 def cmd_pig(args) -> int:
@@ -409,6 +484,9 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
                         help="plan cache entries (0 disables the cache)")
     parser.add_argument("--time-limit", type=float, default=180.0,
                         help="solver cut-off ceiling in seconds")
+    parser.add_argument("--metrics-json", metavar="PATH",
+                        help="write the unified telemetry snapshot "
+                        "(obs registry format)")
 
 
 def _orchestrator_for(args):
@@ -531,6 +609,11 @@ def cmd_serve(args) -> int:
                 orchestrator.respond(result, request_id=request.request_id)
             ))
         print(orchestrator.service.metrics.describe(), file=sys.stderr)
+        if args.metrics_json:
+            _write_metrics_json(
+                args.metrics_json,
+                orchestrator.service.metrics.registry.snapshot(),
+            )
     return exit_code
 
 
@@ -612,6 +695,10 @@ def cmd_loadgen(args) -> int:
         results, rejected = run_workload(service, requests)
         elapsed = _time.perf_counter() - start
         metrics = service.metrics.describe()
+        if args.metrics_json:
+            _write_metrics_json(
+                args.metrics_json, service.metrics.registry.snapshot()
+            )
     completed = sum(1 for r in results if r.ok)
     failed = sum(1 for r in results if r.status.value == "failed")
     rate = len(results) / elapsed if elapsed > 0 else 0.0
@@ -652,6 +739,9 @@ def build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--stream", action="store_true",
                         help="run the live controller loop and stream "
                         "deploy_event JSON lines")
+    deploy.add_argument("--trace-log", metavar="PATH",
+                        help="append the run's event-sourced trace "
+                        "(requires --stream)")
     deploy.set_defaults(handler=cmd_deploy)
 
     services = commands.add_parser("services", help="emit/validate service XML")
@@ -696,7 +786,38 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--input-gb", type=float, default=4.0)
     fleet.add_argument("--deadline", type=float, default=12.0)
     fleet.add_argument("--uplink-mbit", type=float, default=16.0)
+    fleet.add_argument("--trace-log", metavar="PATH",
+                       help="append the run's event-sourced trace for "
+                       "repro replay / repro trace")
+    fleet.add_argument("--metrics-json", metavar="PATH",
+                       help="write the unified telemetry snapshot "
+                       "(requires --trace-log)")
     fleet.set_defaults(handler=cmd_fleet)
+
+    replay = commands.add_parser(
+        "replay",
+        help="replay a trace log: timeline (default), --verify or --resume",
+    )
+    replay.add_argument("log", help="path to the JSON-lines trace log")
+    replay.add_argument("--verify", action="store_true",
+                        help="re-execute the recorded scenario and diff "
+                        "the deterministic record streams")
+    replay.add_argument("--resume", action="store_true",
+                        help="finish a crashed run from its log")
+    replay.add_argument("--mermaid", metavar="PATH",
+                        help="write a Mermaid gantt chart of the run")
+    replay.set_defaults(handler=cmd_replay)
+
+    trace = commands.add_parser(
+        "trace", help="analyze a trace log (summarize)"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_commands.add_parser(
+        "summarize",
+        help="fold a log into the unified telemetry snapshot format",
+    )
+    summarize.add_argument("log", help="path to the JSON-lines trace log")
+    summarize.set_defaults(handler=cmd_trace)
 
     pig = commands.add_parser(
         "pig", help="compile a Pig-Latin script and plan the pipeline"

@@ -65,6 +65,7 @@ from .scheduler import (
     FleetDeploymentSummary,
     FleetResult,
     FleetScheduler,
+    fleet_summary,
 )
 from .substrate import FailureInjector, FailureSpec, Substrate
 
@@ -84,4 +85,5 @@ __all__ = [
     "SpotEviction",
     "Substrate",
     "SubstrateEvent",
+    "fleet_summary",
 ]

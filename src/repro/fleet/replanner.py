@@ -12,6 +12,8 @@ requests do in :class:`~repro.service.service.PlanningService`.
 
 from __future__ import annotations
 
+import time
+
 from ..core.plan import ExecutionPlan
 from ..core.planner import Planner
 from ..core.problem import PlanningProblem
@@ -28,6 +30,10 @@ class CachingPlanner:
     unchanged.  Only optimal plans are published to the cache (the same
     rule the planning service applies: a cut-off incumbent shaped by one
     caller must not be served to everyone).
+
+    ``on_solve`` (assignable any time, e.g. by the fleet scheduler when
+    a tracer is attached) observes each cache-miss solve's wall-clock
+    seconds — the span-timer hook of the observability layer.
     """
 
     def __init__(
@@ -37,6 +43,8 @@ class CachingPlanner:
         self.cache: LRUCache[ExecutionPlan] = LRUCache(capacity)
         self.solves = 0
         self.hits = 0
+        #: Optional callable(seconds) invoked after every real solve.
+        self.on_solve = None
 
     def plan(self, problem: PlanningProblem) -> ExecutionPlan:
         """Solve ``problem``, serving identical problems from the cache."""
@@ -45,10 +53,14 @@ class CachingPlanner:
         if cached is not None:
             self.hits += 1
             return cached
+        start = time.perf_counter()
         plan = self.planner.plan(problem)
+        seconds = time.perf_counter() - start
         self.solves += 1
         if plan.solver_status == "optimal":
             self.cache.put(fingerprint, plan)
+        if self.on_solve is not None:
+            self.on_solve(seconds)
         return plan
 
     @property

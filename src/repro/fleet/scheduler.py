@@ -176,6 +176,37 @@ class FleetResult:
         return "\n".join(lines)
 
 
+def fleet_summary(result: FleetResult) -> dict:
+    """The deterministic fleet summary the ``run_end`` trace record carries.
+
+    Everything here is a pure function of the scenario (no wall-clock
+    data), so verify-mode replay can compare it across runs.
+    """
+    return {
+        "mode": result.mode,
+        "total_cost": result.total_cost,
+        "total_replans": result.total_replans,
+        "completed": result.completed,
+        "deadlines_met": result.deadlines_met,
+        "makespan_hours": result.makespan_hours,
+        "solves": result.solves,
+        "cache_hits": result.cache_hits,
+        "substrate_events": len(result.events),
+        "deployments": [
+            {
+                "name": summary.name,
+                "cost": summary.result.total_cost,
+                "completion_hours": summary.result.completion_hours,
+                "replans": summary.result.replans,
+                "completed": summary.result.completed,
+                "deadline_met": summary.result.deadline_met,
+                "event_replans": summary.event_replans,
+            }
+            for summary in result.deployments
+        ],
+    }
+
+
 class FleetScheduler:
     """Runs many deployments against one substrate, reactively.
 
@@ -288,7 +319,12 @@ class FleetScheduler:
 
     # -- running -----------------------------------------------------------
 
-    def run(self, on_event=None, max_hours: float | None = None) -> FleetResult:
+    def run(
+        self,
+        on_event=None,
+        max_hours: float | None = None,
+        tracer=None,
+    ) -> FleetResult:
         """Drive every deployment to completion; returns the fleet record.
 
         Each simulated step: collect the substrate's events for the
@@ -299,6 +335,14 @@ class FleetScheduler:
         interval.  ``on_event`` receives a
         :class:`~repro.api.schemas.DeployEventV1` per executed interval
         and per adopted re-plan, in causal order.
+
+        ``tracer`` (a :class:`~repro.obs.trace.RunTracer` on which
+        ``begin`` has been called) additionally narrates the run into
+        the durable trace log: per-deployment lifecycle records, every
+        substrate event, the same interval/replan events the stream
+        carries, solver span timings, and the deterministic ``run_end``
+        summary.  The whole loop is single-threaded, so trace record
+        order is a pure function of the scenario.
         """
         # Local import: repro.api sits below the fleet in the layer
         # diagram but importing it at module scope would cycle through
@@ -309,15 +353,45 @@ class FleetScheduler:
         event_policy = default_trigger_policy()
         all_events: list[SubstrateEvent] = []
         peak_demand: dict[str, int] = {}
+        finished: set[int] = set()
+
+        def emit(wire) -> None:
+            if on_event is not None:
+                on_event(wire)
+            if tracer is not None:
+                tracer.deploy_event(wire)
 
         def emit_replan(deployment: FleetDeployment, record) -> None:
-            if on_event is not None:
-                on_event(DeployEventV1.from_replan(
-                    record,
-                    tenant=deployment.name,
-                    session_id=deployment.index,
-                    index=len(deployment.run.outcomes),
-                ))
+            if on_event is None and tracer is None:
+                return
+            emit(DeployEventV1.from_replan(
+                record,
+                tenant=deployment.name,
+                session_id=deployment.index,
+                index=len(deployment.run.outcomes),
+            ))
+
+        def finish(deployment: FleetDeployment, hour: float) -> None:
+            """Log the lifecycle close-out for a deployment, once."""
+            if tracer is None or deployment.index in finished:
+                return
+            finished.add(deployment.index)
+            run = deployment.run
+            completed = run._executor.is_complete(run.state)
+            tracer.lifecycle(
+                deployment.name,
+                "completed" if completed else "failed",
+                hour=hour,
+                session_id=deployment.index,
+                cost=run.ledger.total(),
+                replans=run.replans,
+                completion_hours=run.state.hour,
+            )
+
+        if tracer is not None:
+            self.replanner.on_solve = lambda seconds: tracer.record_span(
+                "fleet.solve", seconds
+            )
 
         for deployment in self.deployments:
             # Initial plans coalesce across identical deployments too:
@@ -326,6 +400,13 @@ class FleetScheduler:
                 deployment.actual,
                 on_replan=lambda record, d=deployment: emit_replan(d, record),
             )
+            if tracer is not None:
+                tracer.lifecycle(
+                    deployment.name,
+                    "started",
+                    hour=config.start_hour,
+                    session_id=deployment.index,
+                )
 
         elapsed = 0.0
         horizon = max_hours if max_hours is not None else max(
@@ -338,6 +419,9 @@ class FleetScheduler:
             now = config.start_hour + elapsed
             events = self.substrate.advance(now, now + config.step_hours)
             all_events.extend(events)
+            if tracer is not None:
+                for event in events:
+                    tracer.substrate_event(event)
             self._restore_failures(elapsed)
             for event in events:
                 self._apply_event(event, active, elapsed)
@@ -348,19 +432,21 @@ class FleetScheduler:
                     continue
                 for service, nodes in outcome.nodes.items():
                     demand[service] = demand.get(service, 0) + nodes
-                if on_event is not None:
-                    on_event(DeployEventV1.from_outcome(
+                if on_event is not None or tracer is not None:
+                    emit(DeployEventV1.from_outcome(
                         outcome,
                         tenant=deployment.name,
                         session_id=deployment.index,
                     ))
-                if config.mode == "event" and not deployment.run.done:
+                if deployment.run.done:
+                    finish(deployment, now + config.step_hours)
+                elif config.mode == "event":
                     self._react_to_outcome(deployment, outcome, event_policy)
             for service, nodes in demand.items():
                 peak_demand[service] = max(peak_demand.get(service, 0), nodes)
             elapsed += config.step_hours
 
-        return FleetResult(
+        result = FleetResult(
             mode=config.mode,
             deployments=[
                 FleetDeploymentSummary(
@@ -376,6 +462,12 @@ class FleetScheduler:
             cache_hits=self.replanner.hits,
             peak_demand=peak_demand,
         )
+        if tracer is not None:
+            end_hour = config.start_hour + elapsed
+            for deployment in self.deployments:
+                finish(deployment, end_hour)
+            tracer.end(fleet_summary(result), hour=end_hour)
+        return result
 
     # -- event routing -----------------------------------------------------
 

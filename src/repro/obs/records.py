@@ -1,0 +1,502 @@
+"""Versioned trace-record schemas — the durable log's vocabulary (v1).
+
+A trace log is an append-only sequence of :class:`TraceRecordV1`
+envelopes, one JSON line each.  The envelope carries the log-level
+bookkeeping (run id, monotonic sequence number, simulated clock, record
+kind); the ``payload`` is the record kind's own frozen schema, exactly
+as :class:`~repro.api.schemas.DeployEventV1` is the wire schema for
+interval and replan events — those two kinds embed ``DeployEventV1``
+payloads verbatim, so a trace log and a ``repro fleet`` stream agree
+byte-for-byte on what an executed interval looks like.
+
+Record kinds:
+
+=================  ========================================================
+``trace_hello``    first record of every log: writer build + versions
+``run_start``      the full scenario (the recipe replay re-executes)
+``lifecycle``      a deployment started / completed / failed
+``interval``       one executed plan interval (``DeployEventV1``)
+``replan``         one adopted re-plan (``DeployEventV1``)
+``substrate_event``a typed substrate event (price/eviction/failure/capacity)
+``span``           wall-clock timing of a hot path (solve/replan/run)
+``snapshot``       a ``ControllerRun`` state snapshot (crash-resume point)
+``run_end``        the run's deterministic summary
+=================  ========================================================
+
+:data:`DETERMINISTIC_KINDS` names the kinds whose payloads are pure
+functions of the scenario: replaying the same scenario re-emits them
+identically, so verify mode diffs exactly these.  ``trace_hello``
+(build version), ``span`` (wall-clock seconds) and ``snapshot``
+(contains solver wall-clock) are excluded by construction.
+
+Schema evolution follows the wire format's rules: every envelope carries
+``trace_version``; unknown versions, kinds and fields are rejected with
+:class:`~repro.api.schemas.SchemaError`, never skipped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Mapping
+
+from ..api.schemas import DeployEventV1, SchemaError
+
+#: The trace-log format version this build writes and reads.
+TRACE_SCHEMA_VERSION = 1
+
+#: Every record kind a v1 log may contain, in rough lifecycle order.
+RECORD_KINDS = (
+    "trace_hello",
+    "run_start",
+    "lifecycle",
+    "interval",
+    "replan",
+    "substrate_event",
+    "span",
+    "snapshot",
+    "run_end",
+)
+
+#: Kinds whose payloads are pure functions of the scenario — the stream
+#: replay's verify mode compares.  Wall-clock data (``trace_hello``'s
+#: build version, ``span`` seconds, the solver timings inside
+#: ``snapshot``) is deliberately outside this set.
+DETERMINISTIC_KINDS = frozenset(
+    {"run_start", "lifecycle", "interval", "replan", "substrate_event",
+     "run_end"}
+)
+
+#: Lifecycle phases a deployment moves through.
+LIFECYCLE_PHASES = ("started", "completed", "failed")
+
+
+def run_id_for(scenario: Mapping) -> str:
+    """Derive the run id from the scenario — content-addressed, so the
+    same configuration always logs (and replays) under the same id."""
+    canonical = json.dumps(dict(scenario), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+# ---------------------------------------------------------------------------
+# validation helpers (the envelope discipline of repro.api.schemas,
+# restated locally so the low-level log format has no private imports)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def _mapping(data: Any, kind: str) -> dict:
+    if not isinstance(data, Mapping):
+        raise SchemaError(f"{kind}: payload must be a JSON object, "
+                          f"got {type(data).__name__}")
+    return dict(data)
+
+
+def _finish(data: dict, kind: str) -> None:
+    if data:
+        raise SchemaError(f"{kind}: unknown fields {sorted(data)}")
+
+
+def _num(value: Any, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SchemaError(f"field {name!r} must be a number, got {value!r}")
+    return float(value)
+
+
+def _int(value: Any, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SchemaError(f"field {name!r} must be an integer, got {value!r}")
+    return value
+
+
+def _str(value: Any, name: str) -> str:
+    if not isinstance(value, str):
+        raise SchemaError(f"field {name!r} must be a string, got {value!r}")
+    return value
+
+
+def _dict(value: Any, name: str) -> dict:
+    if not isinstance(value, Mapping):
+        raise SchemaError(f"field {name!r} must be an object, got {value!r}")
+    return dict(value)
+
+
+# ---------------------------------------------------------------------------
+# the envelope
+
+
+@dataclass(frozen=True)
+class TraceRecordV1:
+    """One line of a trace log: bookkeeping envelope + typed payload.
+
+    ``seq`` is the writer-assigned monotonic position (0-based, gapless
+    within one log); ``hour`` is the *simulated* clock at emission — the
+    deterministic time axis replay aligns on — not wall clock.
+    """
+
+    run_id: str
+    seq: int
+    hour: float
+    kind: str
+    payload: dict
+    trace_version: int = TRACE_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        _require(self.trace_version == TRACE_SCHEMA_VERSION,
+                 f"unsupported trace_version {self.trace_version!r}")
+        _require(bool(self.run_id), "run_id must be non-empty")
+        _require(self.seq >= 0, "seq must be non-negative")
+        _require(self.kind in RECORD_KINDS,
+                 f"unknown record kind {self.kind!r}; "
+                 f"expected one of {list(RECORD_KINDS)}")
+        object.__setattr__(self, "hour", float(self.hour))
+        object.__setattr__(self, "payload", dict(self.payload))
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_version": self.trace_version,
+            "run_id": self.run_id,
+            "seq": self.seq,
+            "hour": self.hour,
+            "kind": self.kind,
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TraceRecordV1":
+        data = _mapping(data, "trace_record")
+        version = data.pop("trace_version", None)
+        if version != TRACE_SCHEMA_VERSION:
+            raise SchemaError(
+                f"unsupported trace_version {version!r} "
+                f"(this build speaks version {TRACE_SCHEMA_VERSION})"
+            )
+        record = cls(
+            run_id=_str(data.pop("run_id", ""), "run_id"),
+            seq=_int(data.pop("seq", -1), "seq"),
+            hour=_num(data.pop("hour", 0.0), "hour"),
+            kind=_str(data.pop("kind", ""), "kind"),
+            payload=_dict(data.pop("payload", {}), "payload"),
+        )
+        _finish(data, "trace_record")
+        return record
+
+    def encode(self) -> str:
+        """One JSON line, keys sorted — the log format."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def decode(cls, line: str) -> "TraceRecordV1":
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"trace line is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# payload schemas
+
+
+@dataclass(frozen=True)
+class TraceHelloV1:
+    """First record of every log: who wrote it, speaking which versions."""
+
+    KIND: ClassVar[str] = "trace_hello"
+
+    service: str = "conductor-repro"
+    version: str = ""
+
+    def to_dict(self) -> dict:
+        return {"service": self.service, "version": self.version}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TraceHelloV1":
+        data = _mapping(data, cls.KIND)
+        hello = cls(
+            service=_str(data.pop("service", "conductor-repro"), "service"),
+            version=_str(data.pop("version", ""), "version"),
+        )
+        _finish(data, cls.KIND)
+        return hello
+
+
+@dataclass(frozen=True)
+class RunStartV1:
+    """The scenario this run executes — everything replay needs.
+
+    ``run_kind`` is ``"deploy"`` (one session) or ``"fleet"`` (many
+    deployments over a shared substrate); ``scenario`` is the full
+    JSON-serializable configuration the matching ``reexecute`` path
+    reconstructs the run from.  The envelope's ``run_id`` is
+    :func:`run_id_for` of exactly this scenario.
+    """
+
+    KIND: ClassVar[str] = "run_start"
+
+    run_kind: str
+    scenario: dict
+
+    def __post_init__(self) -> None:
+        _require(self.run_kind in ("deploy", "fleet"),
+                 f"unknown run_kind {self.run_kind!r}")
+        object.__setattr__(self, "scenario", dict(self.scenario))
+
+    def to_dict(self) -> dict:
+        return {"run_kind": self.run_kind, "scenario": dict(self.scenario)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunStartV1":
+        data = _mapping(data, cls.KIND)
+        start = cls(
+            run_kind=_str(data.pop("run_kind", ""), "run_kind"),
+            scenario=_dict(data.pop("scenario", {}), "scenario"),
+        )
+        _finish(data, cls.KIND)
+        return start
+
+
+@dataclass(frozen=True)
+class LifecycleV1:
+    """A deployment crossed a lifecycle boundary."""
+
+    KIND: ClassVar[str] = "lifecycle"
+
+    tenant: str
+    phase: str
+    session_id: int = 0
+    detail: str = ""
+    cost: float = 0.0
+    replans: int = 0
+    completion_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(self.phase in LIFECYCLE_PHASES,
+                 f"unknown lifecycle phase {self.phase!r}")
+        object.__setattr__(self, "cost", float(self.cost))
+        object.__setattr__(self, "completion_hours",
+                           float(self.completion_hours))
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "phase": self.phase,
+            "session_id": self.session_id,
+            "detail": self.detail,
+            "cost": self.cost,
+            "replans": self.replans,
+            "completion_hours": self.completion_hours,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LifecycleV1":
+        data = _mapping(data, cls.KIND)
+        lifecycle = cls(
+            tenant=_str(data.pop("tenant", ""), "tenant"),
+            phase=_str(data.pop("phase", ""), "phase"),
+            session_id=_int(data.pop("session_id", 0), "session_id"),
+            detail=_str(data.pop("detail", ""), "detail"),
+            cost=_num(data.pop("cost", 0.0), "cost"),
+            replans=_int(data.pop("replans", 0), "replans"),
+            completion_hours=_num(
+                data.pop("completion_hours", 0.0), "completion_hours"
+            ),
+        )
+        _finish(data, cls.KIND)
+        return lifecycle
+
+
+@dataclass(frozen=True)
+class SubstrateEventV1:
+    """The trace form of a typed substrate event.
+
+    ``event_kind`` is the replan-trigger taxonomy tag the fleet event
+    carries (``price``/``eviction``/``failure``/``capacity``);
+    ``attrs`` holds the event type's own numeric fields (old/new price,
+    severity, ...) and ``description`` its deterministic one-liner.
+    """
+
+    KIND: ClassVar[str] = "substrate_event"
+
+    event_kind: str
+    service: str
+    hour: float
+    attrs: dict = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "hour", float(self.hour))
+        object.__setattr__(self, "attrs", dict(self.attrs))
+
+    def to_dict(self) -> dict:
+        return {
+            "event_kind": self.event_kind,
+            "service": self.service,
+            "hour": self.hour,
+            "attrs": dict(self.attrs),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SubstrateEventV1":
+        data = _mapping(data, cls.KIND)
+        event = cls(
+            event_kind=_str(data.pop("event_kind", ""), "event_kind"),
+            service=_str(data.pop("service", ""), "service"),
+            hour=_num(data.pop("hour", 0.0), "hour"),
+            attrs=_dict(data.pop("attrs", {}), "attrs"),
+            description=_str(data.pop("description", ""), "description"),
+        )
+        _finish(data, cls.KIND)
+        return event
+
+    @classmethod
+    def from_event(cls, event) -> "SubstrateEventV1":
+        """Wrap a fleet :class:`~repro.fleet.events.SubstrateEvent`."""
+        attrs = {
+            name: value
+            for name, value in vars(event).items()
+            if name not in ("hour", "service")
+        }
+        return cls(
+            event_kind=event.kind,
+            service=event.service,
+            hour=event.hour,
+            attrs=attrs,
+            description=event.describe(),
+        )
+
+
+@dataclass(frozen=True)
+class SpanV1:
+    """Wall-clock timing of one hot-path section (nondeterministic)."""
+
+    KIND: ClassVar[str] = "span"
+
+    name: str
+    seconds: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seconds", float(self.seconds))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "seconds": self.seconds}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SpanV1":
+        data = _mapping(data, cls.KIND)
+        span = cls(
+            name=_str(data.pop("name", ""), "name"),
+            seconds=_num(data.pop("seconds", 0.0), "seconds"),
+        )
+        _finish(data, cls.KIND)
+        return span
+
+
+@dataclass(frozen=True)
+class SnapshotV1:
+    """A :meth:`ControllerRun.snapshot` — the crash-resume anchor.
+
+    The ``state`` dict is the controller's own serialization (it carries
+    solver wall-clock inside the plan summary, hence nondeterministic);
+    ``step`` counts executed intervals at snapshot time.
+    """
+
+    KIND: ClassVar[str] = "snapshot"
+
+    tenant: str
+    step: int
+    state: dict
+    session_id: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "state", dict(self.state))
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "step": self.step,
+            "state": dict(self.state),
+            "session_id": self.session_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SnapshotV1":
+        data = _mapping(data, cls.KIND)
+        snapshot = cls(
+            tenant=_str(data.pop("tenant", ""), "tenant"),
+            step=_int(data.pop("step", 0), "step"),
+            state=_dict(data.pop("state", {}), "state"),
+            session_id=_int(data.pop("session_id", 0), "session_id"),
+        )
+        _finish(data, cls.KIND)
+        return snapshot
+
+
+@dataclass(frozen=True)
+class RunEndV1:
+    """The run's deterministic summary — the last record of a whole log."""
+
+    KIND: ClassVar[str] = "run_end"
+
+    summary: dict
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "summary", dict(self.summary))
+
+    def to_dict(self) -> dict:
+        return {"summary": dict(self.summary)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunEndV1":
+        data = _mapping(data, cls.KIND)
+        end = cls(summary=_dict(data.pop("summary", {}), "summary"))
+        _finish(data, cls.KIND)
+        return end
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+
+_PAYLOADS = {
+    cls.KIND: cls
+    for cls in (
+        TraceHelloV1,
+        RunStartV1,
+        LifecycleV1,
+        SubstrateEventV1,
+        SpanV1,
+        SnapshotV1,
+        RunEndV1,
+    )
+}
+# interval/replan records carry the public wire schema verbatim.
+_PAYLOADS["interval"] = DeployEventV1
+_PAYLOADS["replan"] = DeployEventV1
+
+
+def decode_payload(record: TraceRecordV1):
+    """Decode a record's payload into its kind's frozen schema type."""
+    return _PAYLOADS[record.kind].from_dict(record.payload)
+
+
+__all__ = [
+    "DETERMINISTIC_KINDS",
+    "LIFECYCLE_PHASES",
+    "LifecycleV1",
+    "RECORD_KINDS",
+    "RunEndV1",
+    "RunStartV1",
+    "SnapshotV1",
+    "SpanV1",
+    "SubstrateEventV1",
+    "TRACE_SCHEMA_VERSION",
+    "TraceHelloV1",
+    "TraceRecordV1",
+    "decode_payload",
+    "run_id_for",
+]

@@ -1,0 +1,46 @@
+"""Aggregate a trace log into the unified telemetry snapshot format.
+
+``repro trace summarize <log>`` funnels a durable log through the same
+:class:`~repro.obs.registry.MetricsRegistry` the live planning service
+and fleet report through, so a post-hoc log analysis and a live
+dashboard poll read identically shaped data:
+
+- counters — one ``records.<kind>`` counter per record kind, plus
+  ``replans.<trigger>`` for each re-plan trigger taxonomy entry;
+- gauges — the numeric scalars of the ``run_end`` summary (prefixed
+  ``run.``) and the total cost accumulated over interval records;
+- series — every ``span`` record's seconds under the span's name
+  (solver timings, compile timings), with exact percentiles.
+"""
+
+from __future__ import annotations
+
+from .records import TraceRecordV1
+from .registry import MetricsRegistry
+
+
+def summarize_records(
+    records: list[TraceRecordV1], registry: MetricsRegistry | None = None
+) -> dict:
+    """Fold a log into a registry and return ``registry.snapshot()``."""
+    registry = registry if registry is not None else MetricsRegistry()
+    interval_cost = 0.0
+    for record in records:
+        registry.counter(f"records.{record.kind}").increment()
+        payload = record.payload
+        if record.kind == "interval":
+            interval_cost += float(payload.get("cost", 0.0))
+        elif record.kind == "replan":
+            trigger = payload.get("trigger") or "unknown"
+            registry.counter(f"replans.{trigger}").increment()
+        elif record.kind == "span":
+            registry.series(payload["name"]).record(float(payload["seconds"]))
+        elif record.kind == "run_end":
+            for key, value in payload["summary"].items():
+                if isinstance(value, (bool, int, float)):
+                    registry.gauge(f"run.{key}").set(float(value))
+    registry.gauge("interval_cost_total").set(interval_cost)
+    return registry.snapshot()
+
+
+__all__ = ["summarize_records"]

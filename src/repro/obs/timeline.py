@@ -1,0 +1,141 @@
+"""Inspect-mode rendering: a human timeline and a Mermaid gantt export.
+
+``repro replay <log>`` (no flags) prints :func:`render_timeline` — one
+line per trace record, in log order, on the record's simulated-hour
+axis.  ``--mermaid PATH`` writes :func:`to_mermaid`: a gantt chart with
+one section per tenant (lifecycle span plus its re-plans as milestones)
+and a section for the substrate's events — the "what path did the fleet
+actually take" picture the paper's adaptation figures tell in prose.
+"""
+
+from __future__ import annotations
+
+from .records import TraceRecordV1
+from .replay import scenario_of
+
+
+def _one_line(record: TraceRecordV1) -> str:
+    """The record's one-line story for the text timeline."""
+    payload = record.payload
+    kind = record.kind
+    if kind == "trace_hello":
+        return f"{payload['service']} {payload['version']}".strip()
+    if kind == "run_start":
+        return f"{payload['run_kind']} scenario ({len(payload['scenario'])} keys)"
+    if kind == "lifecycle":
+        detail = f" ({payload['detail']})" if payload.get("detail") else ""
+        extra = ""
+        if payload["phase"] in ("completed", "failed"):
+            extra = (
+                f" — ${payload['cost']:.2f}, "
+                f"{payload['completion_hours']:.1f} h, "
+                f"{payload['replans']} re-plans"
+            )
+        return f"{payload['tenant']} {payload['phase']}{detail}{extra}"
+    if kind == "interval":
+        nodes = sum(payload.get("nodes", {}).values())
+        return (
+            f"{payload['tenant']} interval #{payload['index']}: "
+            f"{nodes} nodes, ${payload['cost']:.3f}"
+        )
+    if kind == "replan":
+        return (
+            f"{payload['tenant']} re-plan [{payload.get('trigger', '')}] "
+            f"{payload.get('reason', '')}"
+        )
+    if kind == "substrate_event":
+        return f"{payload['event_kind']}: {payload['description']}"
+    if kind == "span":
+        return f"{payload['name']}: {payload['seconds'] * 1e3:.1f} ms"
+    if kind == "snapshot":
+        return f"{payload['tenant']} state @ step {payload['step']}"
+    if kind == "run_end":
+        summary = payload["summary"]
+        parts = [
+            f"{key}={summary[key]}"
+            for key in ("total_cost", "completed", "total_replans")
+            if key in summary
+        ]
+        return "run finished" + (f" ({', '.join(parts)})" if parts else "")
+    return ""
+
+
+def render_timeline(records: list[TraceRecordV1]) -> str:
+    """The whole log as an hour-stamped, human-readable timeline."""
+    run_kind, _ = scenario_of(records)
+    lines = [
+        f"trace {records[0].run_id} ({run_kind}): {len(records)} records"
+    ]
+    for record in records:
+        lines.append(
+            f"[{record.hour:7.1f}h] {record.kind:16s} {_one_line(record)}"
+        )
+    return "\n".join(lines)
+
+
+def _quote(label: str) -> str:
+    """Mermaid task labels cannot carry colons or commas."""
+    return label.replace(":", ";").replace(",", ";")
+
+
+def to_mermaid(records: list[TraceRecordV1]) -> str:
+    """A Mermaid ``gantt`` chart of the run, hours as the time axis.
+
+    One section per tenant: the deployment bar spans its ``started`` to
+    ``completed``/``failed`` lifecycle records and each adopted re-plan
+    appears as a milestone; a final section lists the substrate's events.
+    Hours are rendered on Mermaid's numeric axis (``dateFormat X``), so
+    the chart needs no calendar anchoring.
+    """
+    run_kind, scenario = scenario_of(records)
+    # interval/replan records live on the job-relative hour axis;
+    # lifecycle/substrate records on the absolute substrate axis.  The
+    # chart renders everything absolute.
+    offset = float(scenario.get("start_hour", 0.0))
+    started: dict[str, float] = {}
+    ended: dict[str, tuple[float, str]] = {}
+    replans: dict[str, list[tuple[float, str]]] = {}
+    substrate: list[tuple[float, str]] = []
+    last_hour = records[0].hour
+    for record in records:
+        last_hour = max(last_hour, record.hour)
+        payload = record.payload
+        if record.kind == "lifecycle":
+            tenant = payload["tenant"]
+            if payload["phase"] == "started":
+                started[tenant] = record.hour
+            else:
+                ended[tenant] = (record.hour, payload["phase"])
+        elif record.kind == "replan":
+            replans.setdefault(payload["tenant"], []).append(
+                (record.hour + offset, payload.get("trigger", "replan"))
+            )
+        elif record.kind == "substrate_event":
+            substrate.append((record.hour, payload["description"]))
+    lines = [
+        "gantt",
+        f"    title {run_kind} run {records[0].run_id}",
+        "    dateFormat X",
+        "    axisFormat %s",
+    ]
+    for tenant in sorted(started):
+        begin = started[tenant]
+        finish, phase = ended.get(tenant, (last_hour, "running"))
+        lines.append(f"    section {_quote(tenant)}")
+        lines.append(
+            f"    {phase} :{int(begin)}, {max(int(finish), int(begin) + 1)}"
+        )
+        for hour, trigger in replans.get(tenant, []):
+            lines.append(
+                f"    replan {_quote(trigger)} :milestone, {int(hour)}, 0"
+            )
+    if substrate:
+        lines.append("    section substrate")
+        for hour, description in substrate:
+            lines.append(
+                f"    {_quote(description)} :milestone, {int(hour)}, 0"
+            )
+    return "\n".join(lines)
+
+
+__all__ = ["render_timeline", "to_mermaid"]

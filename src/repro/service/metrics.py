@@ -2,106 +2,116 @@
 effectiveness.
 
 Everything the ``loadgen`` summary and the throughput benchmark report
-comes from here.  Latencies are kept raw (the service handles thousands,
-not millions, of requests per process) so percentiles are exact.
+comes from here.  The instruments themselves live in
+:mod:`repro.obs.registry` — the observability layer's telemetry registry
+— so one :class:`~repro.obs.registry.MetricsRegistry` snapshot format
+serves the planning service, the fleet runtime and ``repro trace
+summarize`` alike; this module keeps the service's vocabulary (which
+counters exist, what a completion records) and its legacy report shapes.
+
+Thread-safety: the registry primitives lock their own record paths, and
+``ServiceMetrics`` adds one reentrant lock around every multi-instrument
+update and read, so a pool callback recording a completion can never
+race a dashboard poll into a torn view (e.g. ``cache_hits`` bumped but
+``completed`` not yet).  The lock is reentrant because ``snapshot()``
+reads ``cache_hit_rate`` while holding it.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
 
+from ..obs.registry import LatencySeries, MetricsRegistry, percentile
 
-def percentile(values: list[float], p: float) -> float:
-    """Exact percentile (nearest-rank with linear interpolation).
+__all__ = ["LatencySeries", "MetricsRegistry", "ServiceMetrics", "percentile"]
 
-    Defined for every sample size: an empty sample yields ``0.0`` and a
-    singleton yields its only element, so dashboards polling a series
-    that has not recorded anything yet (or exactly one thing) get a
-    number, never an exception.  Only an out-of-range ``p`` raises —
-    consistently, regardless of sample size.
-    """
-    return _percentile_sorted(sorted(values), p)
+#: Monotonic request counters every service instance maintains.
+_COUNTERS = (
+    "submitted",
+    "rejected",
+    "expired",
+    "completed",
+    "failed",
+    "cache_hits",
+    "cache_misses",
+    "coalesced",
+)
 
-
-def _percentile_sorted(data: list[float], p: float) -> float:
-    """Percentile over already-sorted data (lets callers sort once)."""
-    if not 0.0 <= p <= 100.0:
-        raise ValueError("percentile must be in [0, 100]")
-    if not data:
-        return 0.0
-    if len(data) == 1:
-        return float(data[0])
-    rank = (p / 100.0) * (len(data) - 1)
-    lo = int(rank)
-    hi = min(lo + 1, len(data) - 1)
-    frac = rank - lo
-    return data[lo] * (1.0 - frac) + data[hi] * frac
-
-
-@dataclass
-class LatencySeries:
-    """A named collection of latency samples, in seconds."""
-
-    samples: list[float] = field(default_factory=list)
-
-    def record(self, seconds: float) -> None:
-        self.samples.append(seconds)
-
-    @property
-    def count(self) -> int:
-        return len(self.samples)
-
-    @property
-    def mean(self) -> float:
-        return sum(self.samples) / len(self.samples) if self.samples else 0.0
-
-    def p(self, q: float) -> float:
-        return percentile(self.samples, q)
-
-    def summary(self) -> dict[str, float]:
-        data = sorted(self.samples)
-        return {
-            "count": float(self.count),
-            "mean_s": self.mean,
-            "p50_s": _percentile_sorted(data, 50),
-            "p90_s": _percentile_sorted(data, 90),
-            "p99_s": _percentile_sorted(data, 99),
-            "max_s": data[-1] if data else 0.0,
-        }
+#: Latency series every service instance maintains.
+_SERIES = ("queue_wait", "solve_latency", "turnaround")
 
 
 class ServiceMetrics:
-    """Thread-safe counters and latency series for one service instance."""
+    """Thread-safe counters and latency series for one service instance.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.submitted = 0
-        self.rejected = 0
-        self.expired = 0
-        self.completed = 0
-        self.failed = 0
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.coalesced = 0
-        self.queue_wait = LatencySeries()
-        self.solve_latency = LatencySeries()
-        self.turnaround = LatencySeries()
+    Backed by an obs-level :class:`MetricsRegistry` (``.registry``):
+    callers wanting the unified telemetry snapshot format read
+    ``metrics.registry.snapshot()``; the legacy ``snapshot()`` /
+    ``describe()`` shapes are preserved for the loadgen report and the
+    throughput benchmarks.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._lock = threading.RLock()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        for name in _COUNTERS:
+            self.registry.counter(name)
+        self.queue_wait = self.registry.series("queue_wait")
+        self.solve_latency = self.registry.series("solve_latency")
+        self.turnaround = self.registry.series("turnaround")
         self.per_tenant_completed: dict[str, int] = {}
+
+    # -- counter views -----------------------------------------------------
+
+    def _count(self, name: str) -> int:
+        with self._lock:
+            return self.registry.counter(name).value
+
+    @property
+    def submitted(self) -> int:
+        return self._count("submitted")
+
+    @property
+    def rejected(self) -> int:
+        return self._count("rejected")
+
+    @property
+    def expired(self) -> int:
+        return self._count("expired")
+
+    @property
+    def completed(self) -> int:
+        return self._count("completed")
+
+    @property
+    def failed(self) -> int:
+        return self._count("failed")
+
+    @property
+    def cache_hits(self) -> int:
+        return self._count("cache_hits")
+
+    @property
+    def cache_misses(self) -> int:
+        return self._count("cache_misses")
+
+    @property
+    def coalesced(self) -> int:
+        return self._count("coalesced")
 
     # -- recording --------------------------------------------------------
 
     def record_submitted(self) -> None:
         with self._lock:
-            self.submitted += 1
+            self.registry.counter("submitted").increment()
 
     def record_rejected(self) -> None:
         with self._lock:
-            self.rejected += 1
+            self.registry.counter("rejected").increment()
 
     def record_expired(self) -> None:
         with self._lock:
-            self.expired += 1
+            self.registry.counter("expired").increment()
 
     def record_queue_wait(self, seconds: float) -> None:
         with self._lock:
@@ -117,47 +127,42 @@ class ServiceMetrics:
         total_s: float = 0.0,
     ) -> None:
         with self._lock:
-            self.completed += 1
+            self.registry.counter("completed").increment()
             self.per_tenant_completed[tenant] = (
                 self.per_tenant_completed.get(tenant, 0) + 1
             )
             if cached:
-                self.cache_hits += 1
+                self.registry.counter("cache_hits").increment()
             else:
-                self.cache_misses += 1
+                self.registry.counter("cache_misses").increment()
                 self.solve_latency.record(solve_s)
             if coalesced:
-                self.coalesced += 1
+                self.registry.counter("coalesced").increment()
             self.turnaround.record(total_s)
 
     def record_failure(self) -> None:
         with self._lock:
-            self.failed += 1
+            self.registry.counter("failed").increment()
 
     # -- reporting --------------------------------------------------------
 
     @property
     def cache_hit_rate(self) -> float:
-        lookups = self.cache_hits + self.cache_misses
-        return self.cache_hits / lookups if lookups else 0.0
+        with self._lock:
+            hits = self.registry.counter("cache_hits").value
+            lookups = hits + self.registry.counter("cache_misses").value
+            return hits / lookups if lookups else 0.0
 
     def snapshot(self) -> dict:
         with self._lock:
-            return {
-                "submitted": self.submitted,
-                "completed": self.completed,
-                "failed": self.failed,
-                "rejected": self.rejected,
-                "expired": self.expired,
-                "cache_hits": self.cache_hits,
-                "cache_misses": self.cache_misses,
-                "coalesced": self.coalesced,
-                "cache_hit_rate": self.cache_hit_rate,
-                "queue_wait": self.queue_wait.summary(),
-                "solve_latency": self.solve_latency.summary(),
-                "turnaround": self.turnaround.summary(),
-                "per_tenant_completed": dict(self.per_tenant_completed),
-            }
+            snap = {name: self.registry.counter(name).value
+                    for name in _COUNTERS}
+            snap["cache_hit_rate"] = self.cache_hit_rate
+            snap["queue_wait"] = self.queue_wait.summary()
+            snap["solve_latency"] = self.solve_latency.summary()
+            snap["turnaround"] = self.turnaround.summary()
+            snap["per_tenant_completed"] = dict(self.per_tenant_completed)
+            return snap
 
     def describe(self) -> str:
         """Human-readable summary block (the ``loadgen`` report)."""

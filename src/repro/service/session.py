@@ -46,11 +46,15 @@ class DeploySession:
         tenant: str,
         controller: JobController,
         actual: ActualConditions | None = None,
+        tracer=None,
     ) -> None:
         self.session_id = session_id
         self.tenant = tenant
         self.controller = controller
         self.actual = actual
+        #: Optional :class:`~repro.obs.trace.RunTracer` (``begin`` already
+        #: called) narrating this deployment into a durable trace log.
+        self.tracer = tracer
         self.result: ControllerResult | None = None
         self.error: Exception | None = None
         self._events: "queue.Queue" = queue.Queue()
@@ -64,15 +68,84 @@ class DeploySession:
 
     def _run(self) -> None:
         try:
-            self.result = self.controller.run(
-                self.actual,
-                on_interval=self._events.put,
-                on_replan=self._events.put,
-            )
+            if self.tracer is None:
+                self.result = self.controller.run(
+                    self.actual,
+                    on_interval=self._events.put,
+                    on_replan=self._events.put,
+                )
+            else:
+                self.result = self._run_traced()
         except Exception as exc:  # surfaced via wait()/events()
             self.error = exc
         finally:
             self._events.put(_DONE)
+
+    def _run_traced(self) -> ControllerResult:
+        """The controller loop, narrated record-by-record into the tracer.
+
+        Equivalent to :meth:`JobController.run` (the event queue sees the
+        identical stream), but every seam also writes a trace record —
+        and every record of the run is emitted from *this* thread, so the
+        log's order is deterministic.  After each interval a ``snapshot``
+        record captures :meth:`ControllerRun.snapshot`, which is what
+        crash-resume rehydrates from.
+        """
+        # Local import: the service layer sits below repro.api, but the
+        # wire schema for interval/replan trace payloads lives there;
+        # importing it at module scope would cycle through
+        # repro.api.__init__ -> orchestrator -> service.
+        from ..api.schemas import DeployEventV1
+
+        tracer = self.tracer
+
+        def on_replan(record: ReplanRecord) -> None:
+            self._events.put(record)
+            tracer.deploy_event(DeployEventV1.from_replan(
+                record,
+                tenant=self.tenant,
+                session_id=self.session_id,
+                index=len(run.outcomes),
+            ))
+
+        run = self.controller.start(self.actual, on_replan=on_replan)
+        tracer.lifecycle(
+            self.tenant, "started", hour=run.state.hour,
+            session_id=self.session_id,
+        )
+        step = 0
+        while (outcome := run.step()) is not None:
+            step += 1
+            self._events.put(outcome)
+            tracer.deploy_event(DeployEventV1.from_outcome(
+                outcome, tenant=self.tenant, session_id=self.session_id,
+            ))
+            tracer.snapshot(
+                self.tenant, step, run.snapshot(),
+                hour=run.state.hour, session_id=self.session_id,
+            )
+        result = run.result()
+        tracer.lifecycle(
+            self.tenant,
+            "completed" if result.completed else "failed",
+            hour=run.state.hour,
+            session_id=self.session_id,
+            cost=result.total_cost,
+            replans=result.replans,
+            completion_hours=result.completion_hours,
+        )
+        tracer.end(
+            {
+                "completed": result.completed,
+                "completion_hours": result.completion_hours,
+                "total_cost": result.total_cost,
+                "replans": result.replans,
+                "intervals": len(result.outcomes),
+                "deadline_met": result.deadline_met,
+            },
+            hour=run.state.hour,
+        )
+        return result
 
     # -- consumption ------------------------------------------------------
 
@@ -162,6 +235,7 @@ class SessionManager:
         trace_offset_hours: float = 0.0,
         problem_kwargs: dict | None = None,
         triggers: TriggerPolicy | None = None,
+        tracer=None,
     ) -> DeploySession:
         """Launch a controller loop for an accepted plan's job."""
         controller = JobController(
@@ -179,7 +253,9 @@ class SessionManager:
         )
         with self._lock:
             session_id = next(self._ids)
-            session = DeploySession(session_id, tenant, controller, actual)
+            session = DeploySession(
+                session_id, tenant, controller, actual, tracer=tracer
+            )
             self._sessions[session_id] = session
         return session._start()
 

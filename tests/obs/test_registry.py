@@ -1,0 +1,155 @@
+"""Telemetry registry: instruments, snapshot shape, and thread-safety.
+
+The concurrency cases pin the satellite fix for the pool-callback race:
+``ServiceMetrics`` (and the registry primitives underneath) are mutated
+from solver-pool callback threads while ``snapshot()`` polls from the
+main thread, so every record and read path must hold a lock.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    LatencySeries,
+    MetricsRegistry,
+    percentile,
+)
+from repro.service.metrics import ServiceMetrics
+
+
+class TestPercentile:
+    def test_exact_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().increment(-1)
+
+    def test_gauge_holds_last(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.set(1.25)
+        assert gauge.value == 1.25
+
+    def test_series_summary_keys(self):
+        series = LatencySeries()
+        series.record(0.1)
+        summary = series.summary()
+        assert set(summary) == {
+            "count", "mean_s", "p50_s", "p90_s", "p99_s", "max_s"
+        }
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.series("s") is registry.series("s")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").increment()
+        registry.gauge("queue").set(2.0)
+        registry.series("solve").record(0.25)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"jobs": 1}
+        assert snap["gauges"] == {"queue": 2.0}
+        assert snap["series"]["solve"]["count"] == 1
+
+    def test_span_times_block(self):
+        registry = MetricsRegistry()
+        with registry.span("solve"):
+            pass
+        assert registry.series("solve").count == 1
+
+
+class TestConcurrency:
+    """The satellite fix: no torn reads under pool-callback contention."""
+
+    def test_registry_parallel_updates_are_lossless(self):
+        registry = MetricsRegistry()
+        rounds = 500
+
+        def work():
+            for _ in range(rounds):
+                registry.counter("n").increment()
+                registry.series("lat").record(0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("n").value == 8 * rounds
+        assert registry.series("lat").count == 8 * rounds
+
+    def test_service_metrics_snapshot_never_tears(self):
+        """cache_hits + cache_misses must always equal completed, even
+        while completions are being recorded concurrently."""
+        metrics = ServiceMetrics()
+        rounds = 300
+        stop = threading.Event()
+        torn = []
+
+        def record():
+            for i in range(rounds):
+                metrics.record_completion(
+                    "acme", cached=i % 2 == 0, solve_s=0.01, total_s=0.02
+                )
+
+        def poll():
+            while not stop.is_set():
+                snap = metrics.snapshot()
+                lookups = snap["cache_hits"] + snap["cache_misses"]
+                if lookups != snap["completed"]:
+                    torn.append(snap)
+
+        writers = [threading.Thread(target=record) for _ in range(4)]
+        reader = threading.Thread(target=poll)
+        reader.start()
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join()
+        stop.set()
+        reader.join()
+        assert not torn
+        assert metrics.completed == 4 * rounds
+        assert metrics.cache_hits + metrics.cache_misses == 4 * rounds
+
+    def test_per_tenant_counts_survive_contention(self):
+        metrics = ServiceMetrics()
+
+        def work(tenant):
+            for _ in range(200):
+                metrics.record_completion(tenant, cached=True, total_s=0.0)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = metrics.snapshot()
+        assert all(
+            snap["per_tenant_completed"][f"t{i}"] == 200 for i in range(6)
+        )

@@ -1,0 +1,136 @@
+"""Inspect mode (timeline + Mermaid) and the trace-summary rollup.
+
+The fixture log is hand-built from the payload schemas so every record
+kind appears exactly where the assertions expect it — no need to run a
+whole fleet to test the renderers.
+"""
+
+import pytest
+
+from repro.api.schemas import DeployEventV1
+from repro.obs.records import (
+    LifecycleV1,
+    RunEndV1,
+    RunStartV1,
+    SnapshotV1,
+    SpanV1,
+    SubstrateEventV1,
+    TraceHelloV1,
+    TraceRecordV1,
+)
+from repro.obs.summary import summarize_records
+from repro.obs.timeline import render_timeline, to_mermaid
+
+SCENARIO = {"deployments": 1, "start_hour": 24.0, "seed": 1}
+
+
+@pytest.fixture(scope="module")
+def records():
+    payloads = [
+        ("trace_hello", 0.0, TraceHelloV1(version="1.0.0")),
+        ("run_start", 0.0, RunStartV1(run_kind="fleet", scenario=SCENARIO)),
+        ("lifecycle", 24.0, LifecycleV1(tenant="tenant-1", phase="started")),
+        ("interval", 0.0, DeployEventV1(
+            index=0, start_hour=0.0, duration_hours=6.0,
+            nodes={"ec2.m1.large": 2}, cost=1.2, tenant="tenant-1",
+        )),
+        ("substrate_event", 28.0, SubstrateEventV1(
+            event_kind="eviction", service="spot", hour=28.0,
+            description="spot price 0.40 crossed bid 0.34",
+        )),
+        ("replan", 6.0, DeployEventV1(
+            index=0, start_hour=6.0, duration_hours=0.0, tenant="tenant-1",
+            event="replan", trigger="eviction", reason="nodes evicted",
+        )),
+        ("span", 6.0, SpanV1(name="fleet.solve", seconds=0.125)),
+        ("snapshot", 30.0, SnapshotV1(tenant="tenant-1", step=1, state={})),
+        ("interval", 6.0, DeployEventV1(
+            index=0, start_hour=6.0, duration_hours=4.0,
+            nodes={"ec2.m1.large": 3}, cost=2.3, tenant="tenant-1",
+        )),
+        ("lifecycle", 34.0, LifecycleV1(
+            tenant="tenant-1", phase="completed",
+            cost=3.5, replans=1, completion_hours=10.0,
+        )),
+        ("run_end", 34.0, RunEndV1(summary={
+            "total_cost": 3.5, "completed": 1, "total_replans": 1,
+            "mode": "event",
+        })),
+    ]
+    return [
+        TraceRecordV1(
+            run_id="feedc0ffee12", seq=seq, hour=hour, kind=kind,
+            payload=payload.to_dict(),
+        )
+        for seq, (kind, hour, payload) in enumerate(payloads)
+    ]
+
+
+class TestTimeline:
+    def test_header_names_run_and_count(self, records):
+        text = render_timeline(records)
+        assert text.splitlines()[0] == (
+            "trace feedc0ffee12 (fleet): 11 records"
+        )
+
+    def test_one_row_per_record_with_hours(self, records):
+        lines = render_timeline(records).splitlines()
+        assert len(lines) == 1 + len(records)
+        assert lines[1].startswith("[    0.0h] trace_hello")
+        assert "[   28.0h] substrate_event" in lines[5]
+        assert "eviction: spot price 0.40 crossed bid 0.34" in lines[5]
+
+    def test_rows_tell_the_story(self, records):
+        text = render_timeline(records)
+        assert "tenant-1 interval #0: 2 nodes, $1.200" in text
+        assert "tenant-1 re-plan [eviction] nodes evicted" in text
+        assert "tenant-1 completed — $3.50, 10.0 h, 1 re-plans" in text
+        assert "fleet.solve: 125.0 ms" in text
+        assert "run finished (total_cost=3.5, completed=1, total_replans=1)" \
+            in text
+
+
+class TestMermaid:
+    def test_gantt_skeleton(self, records):
+        chart = to_mermaid(records)
+        lines = chart.splitlines()
+        assert lines[0] == "gantt"
+        assert "    title fleet run feedc0ffee12" in lines
+        assert "    dateFormat X" in lines
+
+    def test_tenant_bar_spans_lifecycle(self, records):
+        chart = to_mermaid(records)
+        assert "    section tenant-1" in chart
+        assert "    completed :24, 34" in chart
+
+    def test_replans_land_on_the_absolute_axis(self, records):
+        """The re-plan record's hour is job-relative (6.0); the chart
+        shifts it by the scenario's start_hour (24.0)."""
+        assert "    replan eviction :milestone, 30, 0" in to_mermaid(records)
+
+    def test_substrate_section_quotes_labels(self, records):
+        chart = to_mermaid(records)
+        assert "    section substrate" in chart
+        # The description's colon must not leak into Mermaid syntax.
+        assert "spot price 0.40 crossed bid 0.34 :milestone, 28, 0" in chart
+
+
+class TestSummarize:
+    def test_counters_gauges_series(self, records):
+        snapshot = summarize_records(records)
+        assert snapshot["counters"]["records.interval"] == 2
+        assert snapshot["counters"]["records.lifecycle"] == 2
+        assert snapshot["counters"]["replans.eviction"] == 1
+        assert snapshot["gauges"]["run.total_cost"] == 3.5
+        assert snapshot["gauges"]["interval_cost_total"] == pytest.approx(3.5)
+        assert snapshot["series"]["fleet.solve"]["count"] == 1
+        # run_end's non-numeric summary entries are not gauges.
+        assert "run.mode" not in snapshot["gauges"]
+
+    def test_feeds_a_caller_registry(self, records):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        snapshot = summarize_records(records, registry=registry)
+        assert registry.counter("records.run_end").value == 1
+        assert snapshot == registry.snapshot()

@@ -1,0 +1,138 @@
+"""TraceWriter/RunTracer/read_trace: log invariants and the tracer seams."""
+
+import threading
+
+import pytest
+
+from repro.obs.records import run_id_for
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import (
+    RunTracer,
+    TraceCollector,
+    TraceError,
+    TraceWriter,
+    read_trace,
+)
+
+
+def traced_run(tmp_path, scenario=None):
+    """A tiny hand-driven run logged to both a file and a collector."""
+    scenario = scenario if scenario is not None else {"seed": 7}
+    path = tmp_path / "run.jsonl"
+    collector = TraceCollector()
+    with TraceWriter(path) as writer:
+        tracer = RunTracer(writer, collector)
+        tracer.begin("deploy", scenario, version="1.2.3")
+        tracer.lifecycle("acme", "started", hour=0.0)
+        tracer.record_span("solve", 0.25)
+        tracer.lifecycle("acme", "completed", hour=3.0, cost=1.5)
+        tracer.end({"total_cost": 1.5}, hour=3.0)
+    return path, collector.records
+
+
+class TestTracer:
+    def test_preamble_then_gapless_sequence(self, tmp_path):
+        _, records = traced_run(tmp_path)
+        assert [r.kind for r in records] == [
+            "trace_hello", "run_start", "lifecycle", "span", "lifecycle",
+            "run_end",
+        ]
+        assert [r.seq for r in records] == list(range(len(records)))
+
+    def test_run_id_is_content_addressed(self, tmp_path):
+        scenario = {"seed": 7}
+        _, records = traced_run(tmp_path, scenario)
+        assert records[0].run_id == run_id_for(scenario)
+
+    def test_begin_twice_rejected(self):
+        tracer = RunTracer(TraceCollector())
+        tracer.begin("deploy", {})
+        with pytest.raises(TraceError, match="twice"):
+            tracer.begin("deploy", {})
+
+    def test_record_before_begin_rejected(self):
+        tracer = RunTracer(TraceCollector())
+        with pytest.raises(TraceError, match="before begin"):
+            tracer.lifecycle("acme", "started", hour=0.0)
+
+    def test_tracer_needs_a_sink(self):
+        with pytest.raises(ValueError):
+            RunTracer()
+
+    def test_span_mirrors_into_registry(self):
+        registry = MetricsRegistry()
+        tracer = RunTracer(TraceCollector(), registry=registry)
+        tracer.begin("deploy", {})
+        with tracer.span("solve"):
+            pass
+        assert registry.series("solve").count == 1
+
+    def test_concurrent_emission_stays_gapless(self):
+        collector = TraceCollector()
+        tracer = RunTracer(collector)
+        tracer.begin("deploy", {})
+
+        def emit():
+            for _ in range(200):
+                tracer.record_span("solve", 0.0)
+
+        threads = [threading.Thread(target=emit) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seqs = [record.seq for record in collector.records]
+        assert seqs == list(range(2 + 4 * 200))
+
+
+class TestReadTrace:
+    def test_round_trip(self, tmp_path):
+        path, records = traced_run(tmp_path)
+        assert read_trace(path) == records
+
+    def test_missing_run_end_is_valid(self, tmp_path):
+        """A crashed log (no run_end) must parse — resume consumes it."""
+        path, records = traced_run(tmp_path)
+        lines = path.read_text().splitlines()
+        truncated = tmp_path / "crashed.jsonl"
+        truncated.write_text("\n".join(lines[:-1]) + "\n")
+        assert [r.kind for r in read_trace(truncated)][-1] != "run_end"
+
+    def test_empty_log_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError, match="empty"):
+            read_trace(path)
+
+    def test_must_open_with_hello(self, tmp_path):
+        path, _ = traced_run(tmp_path)
+        lines = path.read_text().splitlines()
+        tampered = tmp_path / "nohello.jsonl"
+        tampered.write_text("\n".join(lines[1:]) + "\n")
+        with pytest.raises(TraceError, match="trace_hello"):
+            read_trace(tampered)
+
+    def test_sequence_gap_rejected(self, tmp_path):
+        path, _ = traced_run(tmp_path)
+        lines = path.read_text().splitlines()
+        tampered = tmp_path / "gap.jsonl"
+        tampered.write_text("\n".join(lines[:2] + lines[3:]) + "\n")
+        with pytest.raises(TraceError, match="sequence gap"):
+            read_trace(tampered)
+
+    def test_mixed_run_ids_rejected(self, tmp_path):
+        path, _ = traced_run(tmp_path)
+        other = tmp_path / "other"
+        other.mkdir()
+        other_path, _ = traced_run(other, {"seed": 8})
+        mixed = tmp_path / "mixed.jsonl"
+        mixed.write_text(path.read_text() + other_path.read_text())
+        with pytest.raises(TraceError, match="multiple run ids"):
+            read_trace(mixed)
+
+    def test_writer_appends(self, tmp_path):
+        path, _ = traced_run(tmp_path)
+        before = len(path.read_text().splitlines())
+        with TraceWriter(path) as writer:
+            assert writer.count == 0
+        assert len(path.read_text().splitlines()) == before

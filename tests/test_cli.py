@@ -346,7 +346,10 @@ class TestFleet:
              "--deadline", "8", "--days", "5", "--predictor", "p0"]
         ) == 0
         captured = capsys.readouterr()
-        events = [json.loads(line) for line in captured.out.splitlines()]
+        lines = [json.loads(line) for line in captured.out.splitlines()]
+        # Like serve, the stream opens with a versioned hello preamble.
+        assert lines[0]["kind"] == "hello"
+        events = lines[1:]
         assert events
         assert all(e["kind"] == "deploy_event" for e in events)
         assert all(e["schema_version"] == 1 for e in events)
@@ -376,3 +379,117 @@ class TestFleet:
         assert "--failure-rate" in capsys.readouterr().err
         assert main(["fleet", "--failure-rate", "-0.1"]) == 2
         assert "--failure-rate" in capsys.readouterr().err
+
+
+class TestTraceLogging:
+    """The event-sourced trace pipeline end to end, through the CLI."""
+
+    FLEET_ARGS = ["fleet", "--deployments", "2", "--input-gb", "2",
+                  "--deadline", "8", "--days", "5", "--predictor", "p0"]
+
+    def fleet_log(self, tmp_path, capsys, extra=()):
+        log = tmp_path / "fleet.jsonl"
+        assert main(self.FLEET_ARGS + ["--trace-log", str(log), *extra]) == 0
+        return log, capsys.readouterr()
+
+    def test_fleet_writes_a_replayable_log(self, tmp_path, capsys):
+        import json
+
+        log, captured = self.fleet_log(tmp_path, capsys)
+        # Streaming output is unchanged by tracing: hello, then events.
+        assert json.loads(captured.out.splitlines()[0])["kind"] == "hello"
+        kinds = [
+            json.loads(line)["kind"] for line in log.read_text().splitlines()
+        ]
+        assert kinds[0] == "trace_hello"
+        assert kinds[1] == "run_start"
+        assert kinds[-1] == "run_end"
+        assert "interval" in kinds
+
+    def test_replay_verify_round_trip(self, tmp_path, capsys):
+        log, _ = self.fleet_log(tmp_path, capsys)
+        assert main(["replay", str(log), "--verify"]) == 0
+        assert "verified: streams identical" in capsys.readouterr().out
+
+    def test_replay_verify_flags_tampering(self, tmp_path, capsys):
+        import json
+
+        log, _ = self.fleet_log(tmp_path, capsys)
+        lines = log.read_text().splitlines()
+        index = next(
+            i for i, line in enumerate(lines)
+            if json.loads(line)["kind"] == "interval"
+        )
+        record = json.loads(lines[index])
+        record["payload"]["cost"] += 1.0
+        lines[index] = json.dumps(record, sort_keys=True)
+        log.write_text("\n".join(lines) + "\n")
+        assert main(["replay", str(log), "--verify"]) == 1
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_replay_resume_finishes_a_truncated_log(self, tmp_path, capsys):
+        log, _ = self.fleet_log(tmp_path, capsys)
+        lines = log.read_text().splitlines()
+        log.write_text("\n".join(lines[: 2 * len(lines) // 3]) + "\n")
+        assert main(["replay", str(log), "--resume"]) == 0
+        assert "fleet (event): 2 deployments" in capsys.readouterr().out
+
+    def test_replay_timeline_and_mermaid(self, tmp_path, capsys):
+        log, _ = self.fleet_log(tmp_path, capsys)
+        chart = tmp_path / "run.mmd"
+        assert main(["replay", str(log), "--mermaid", str(chart)]) == 0
+        out = capsys.readouterr().out
+        assert "trace " in out and "records" in out.splitlines()[0]
+        assert chart.read_text().startswith("gantt")
+
+    def test_replay_rejects_a_bad_log(self, tmp_path, capsys):
+        log = tmp_path / "bad.jsonl"
+        log.write_text("{not json\n")
+        assert main(["replay", str(log)]) == 2
+        assert "bad trace log" in capsys.readouterr().err
+        assert main(["replay", str(tmp_path / "missing.jsonl")]) == 2
+        assert "bad trace log" in capsys.readouterr().err
+
+    def test_trace_summarize_emits_the_snapshot_format(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        log, _ = self.fleet_log(tmp_path, capsys)
+        assert main(["trace", "summarize", str(log)]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert set(snapshot) == {"counters", "gauges", "series"}
+        assert snapshot["counters"]["records.trace_hello"] == 1
+        assert snapshot["gauges"]["run.completed"] == 2.0
+
+    def test_fleet_metrics_json(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        self.fleet_log(tmp_path, capsys, ["--metrics-json", str(metrics)])
+        snapshot = json.loads(metrics.read_text())
+        assert set(snapshot) == {"counters", "gauges", "series"}
+        assert "fleet.solve" in snapshot["series"]
+
+    def test_deploy_stream_writes_a_log(self, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "deploy.jsonl"
+        assert main(
+            ["deploy", "--stream", "--input-gb", "4", "--deadline", "3",
+             "--trace-log", str(log)]
+        ) == 0
+        capsys.readouterr()
+        kinds = [
+            json.loads(line)["kind"] for line in log.read_text().splitlines()
+        ]
+        assert "snapshot" in kinds and kinds[-1] == "run_end"
+        assert main(["replay", str(log), "--verify"]) == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_deploy_trace_log_requires_stream(self, capsys):
+        assert main(
+            ["deploy", "--input-gb", "4", "--deadline", "3",
+             "--trace-log", "x.jsonl"]
+        ) == 2
+        assert "--trace-log requires --stream" in capsys.readouterr().err

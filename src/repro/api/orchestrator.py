@@ -299,8 +299,17 @@ class Orchestrator:
         trace_offset_hours: float = 0.0,
         event_timeout: float | None = None,
         tracer=None,
+        backend: str = "sim",
+        backend_options: dict | None = None,
     ):
         """Run the deploy/monitor/adapt loop for one spec to completion.
+
+        ``backend`` selects the execution substrate (see
+        :data:`repro.exec.BACKENDS`): the deterministic fluid simulator
+        (``"sim"``, the default), the local process-pool MapReduce
+        runner (``"pool"``), or the stub container backend (``"stub"``).
+        ``backend_options`` tunes the real backends (task sizing,
+        timeouts, worker count — :data:`repro.exec.DEFAULT_OPTIONS`).
 
         Streams each executed interval — and each adopted re-plan, as an
         ``event="replan"`` record carrying its trigger and reason — to
@@ -348,6 +357,11 @@ class Orchestrator:
                 scenario["controller_config"] = asdict(controller_config)
             if trace_offset_hours:
                 scenario["trace_offset_hours"] = trace_offset_hours
+            if backend != "sim":
+                # Recorded so replay refuses to --verify a trace whose
+                # run was nondeterministic; sim scenarios (and their run
+                # ids) are unchanged.
+                scenario["backend"] = backend
             tracer.begin("deploy", scenario, version=__version__)
         try:
             session = self.sessions.start(
@@ -364,6 +378,8 @@ class Orchestrator:
                 trace_offset_hours=trace_offset_hours,
                 problem_kwargs=problem_kwargs,
                 tracer=tracer,
+                backend=backend,
+                backend_options=backend_options,
             )
         except ValueError as exc:
             raise OrchestratorError(

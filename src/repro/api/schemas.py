@@ -701,6 +701,10 @@ class DeployEventV1:
     cost: float = 0.0
     outbid_services: tuple[str, ...] = ()
     spot_data_lost_gb: float = 0.0
+    #: Services whose workers died/timed out (real execution backends
+    #: only; additive — absent on the wire when empty, so sim-backend
+    #: interval payloads are unchanged).
+    failed_services: tuple[str, ...] = ()
     tenant: str = "default"
     session_id: int = 0
     #: One of :data:`DEPLOY_EVENT_KINDS` (additive; default = historical).
@@ -723,6 +727,7 @@ class DeployEventV1:
             _set(self, name, float(getattr(self, name)))
         _set(self, "nodes", {str(k): int(v) for k, v in dict(self.nodes).items()})
         _set(self, "outbid_services", tuple(self.outbid_services))
+        _set(self, "failed_services", tuple(self.failed_services))
 
     def to_dict(self) -> dict:
         payload = {
@@ -742,6 +747,8 @@ class DeployEventV1:
             "tenant": self.tenant,
             "session_id": self.session_id,
         }
+        if self.failed_services:
+            payload["failed_services"] = list(self.failed_services)
         if self.event != "interval":
             # The additive fields appear only on the new event kinds, so
             # interval payloads stay byte-identical to what pre-fleet v1
@@ -766,6 +773,7 @@ class DeployEventV1:
             cost=_take(data, "cost", _float, 0.0),
             outbid_services=_take(data, "outbid_services", _str_tuple, ()),
             spot_data_lost_gb=_take(data, "spot_data_lost_gb", _float, 0.0),
+            failed_services=_take(data, "failed_services", _str_tuple, ()),
             tenant=_take(data, "tenant", _str, "default"),
             session_id=_take(data, "session_id", _int, 0),
             event=_take(data, "event", _str, "interval"),
@@ -792,6 +800,9 @@ class DeployEventV1:
             cost=outcome.cost,
             outbid_services=tuple(outcome.outbid_services),
             spot_data_lost_gb=outcome.spot_data_lost_gb,
+            failed_services=tuple(
+                getattr(outcome, "failed_services", ()) or ()
+            ),
             tenant=tenant,
             session_id=session_id,
         )

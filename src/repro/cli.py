@@ -146,6 +146,7 @@ def _cmd_deploy_stream(args) -> int:
             _spec_for(args),
             on_event=lambda event: print(encode(event)),
             tracer=tracer,
+            backend=getattr(args, "backend", "sim"),
         )
     except SchemaError as exc:
         print(f"bad job spec: {exc}", file=sys.stderr)
@@ -178,6 +179,10 @@ def cmd_deploy(args) -> int:
     if args.trace_log:
         print("--trace-log requires --stream (the live controller loop "
               "is what gets traced)", file=sys.stderr)
+        return 2
+    if args.backend != "sim":
+        print("--backend runs the live controller loop; it requires "
+              "--stream", file=sys.stderr)
         return 2
     try:
         scenario = scenario_for(_spec_for(args))
@@ -739,6 +744,12 @@ def build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--stream", action="store_true",
                         help="run the live controller loop and stream "
                         "deploy_event JSON lines")
+    deploy.add_argument("--backend", choices=["sim", "pool", "stub"],
+                        default="sim",
+                        help="execution backend for the controller loop "
+                        "(requires --stream): deterministic fluid "
+                        "simulator, local process-pool MapReduce, or "
+                        "stub container subprocess")
     deploy.add_argument("--trace-log", metavar="PATH",
                         help="append the run's event-sourced trace "
                         "(requires --stream)")

@@ -139,6 +139,8 @@ class JobController:
         trace_offset_hours: float = 0.0,
         problem_kwargs: dict | None = None,
         triggers: TriggerPolicy | None = None,
+        backend: str = "sim",
+        backend_options: dict | None = None,
     ) -> None:
         self.job = job
         self.services = list(services)
@@ -151,6 +153,9 @@ class JobController:
         self.trace_offset_hours = trace_offset_hours
         self.problem_kwargs = dict(problem_kwargs or {})
         self.triggers = triggers or default_trigger_policy()
+        #: Execution backend selector (see :mod:`repro.exec.base`).
+        self.backend = backend
+        self.backend_options = dict(backend_options or {})
         self._spot_names = [s.name for s in self.services if s.is_spot]
         if self._spot_names and (predictor is None or trace is None):
             raise ValueError("spot services require a predictor and a trace")
@@ -190,10 +195,13 @@ class JobController:
         :meth:`start`/:meth:`ControllerRun.step` to completion.
         """
         run = self.start(actual, on_replan=on_replan)
-        while (outcome := run.step()) is not None:
-            if on_interval is not None:
-                on_interval(outcome)
-        return run.result()
+        try:
+            while (outcome := run.step()) is not None:
+                if on_interval is not None:
+                    on_interval(outcome)
+            return run.result()
+        finally:
+            run.close()
 
     def start(
         self,
@@ -211,12 +219,17 @@ class JobController:
         """
         return ControllerRun(self, actual, on_replan=on_replan)
 
-    def _executor(self, state, actual, ledger) -> FluidExecutor:
-        executor = FluidExecutor(
-            self._problem(state), actual, ledger,
+    def _executor(self, state, actual, ledger):
+        # Imported lazily: repro.exec sits above core in the layering
+        # (it subclasses FluidExecutor), so a module-level import would
+        # be a cycle.
+        from ..exec import make_executor
+
+        return make_executor(
+            self.backend, self._problem(state), actual, ledger,
             hour_offset=self.trace_offset_hours,
+            options=self.backend_options or None,
         )
-        return executor
 
     # -- planning ------------------------------------------------------------
 
@@ -395,6 +408,15 @@ class ControllerRun:
             or not self.state.hour < self.max_hours - _EPS
         )
 
+    def close(self) -> None:
+        """Release backend resources (worker pools, subprocesses).
+
+        Idempotent; a no-op for the sim backend.  Owners that drive a
+        run to completion (``JobController.run``, the deploy session,
+        the fleet scheduler) call this when the run ends.
+        """
+        self._executor.close()
+
     def request_replan(
         self, reason: str, kind: str = "external", learn: bool = False
     ) -> bool:
@@ -444,7 +466,7 @@ class ControllerRun:
         plan = self.plans[-1]
         interval = plan.interval_at(state.hour)
         controller._update_bids(self._executor, state)
-        outcome = self._executor.execute_interval(interval, state)
+        outcome = self._executor.run_interval(interval, state)
         self.outcomes.append(outcome)
         self.node_series.append((outcome.start_hour, sum(outcome.nodes.values())))
         self.task_series.append((state.hour, controller._completed_tasks(state)))
@@ -589,6 +611,12 @@ class ControllerRun:
                 "outbid_services": list(last.outbid_services),
                 "observed_rates": dict(last.observed_rates),
                 "spot_data_lost_gb": last.spot_data_lost_gb,
+                # Additive: omitted when empty so sim-backend snapshots
+                # stay byte-identical to pre-backend ones.
+                **(
+                    {"failed_services": list(last.failed_services)}
+                    if last.failed_services else {}
+                ),
             },
         }
 
@@ -661,6 +689,9 @@ class ControllerRun:
                 observed_rates={str(k): float(v)
                                 for k, v in last["observed_rates"].items()},
                 spot_data_lost_gb=float(last["spot_data_lost_gb"]),
+                failed_services=[
+                    str(n) for n in last.get("failed_services", [])
+                ],
             ))
         run.node_series = [(float(h), int(n))
                            for h, n in snapshot["node_series"]]
@@ -708,4 +739,7 @@ class ControllerRun:
         self.replan_records.append(record)
         if self.on_replan is not None:
             self.on_replan(record)
-        self._executor = controller._executor(self.state, self.actual, self.ledger)
+        # Rebind instead of recreating: the executor's runtime state
+        # (worker pools, task counters, collected partials) survives the
+        # re-plan — only the believed problem changes.
+        self._executor.rebind(controller._problem(self.state))

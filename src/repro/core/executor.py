@@ -49,6 +49,9 @@ class IntervalOutcome:
     observed_rates: dict[str, float] = field(default_factory=dict)
     #: GB of state destroyed by spot-instance termination this interval.
     spot_data_lost_gb: float = 0.0
+    #: Services whose workers died or timed out this interval (real
+    #: execution backends only; the fluid simulator never fails workers).
+    failed_services: list[str] = field(default_factory=list)
 
     @property
     def map_shortfall(self) -> float:
@@ -156,6 +159,45 @@ class FluidExecutor:
             state.reduce_done_gb >= job.map_output_gb - 1e-6
             and state.downloaded_gb >= job.result_gb - 1e-6
         )
+
+    # -- capacity hooks ---------------------------------------------------------
+    # Execution backends that run real work (repro.exec) override these
+    # to cap the fluid accounting by what their workers actually
+    # completed; the simulator's capacity is the believed-world formula.
+
+    def _map_capacity(self, name: str, count: int, delta: float) -> float:
+        """GB of map input ``count`` nodes of ``name`` can process."""
+        service = self._services[name]
+        rate = self.actual.actual_rate(service, self.job.throughput_scale)
+        return count * rate * delta
+
+    def _reduce_capacity(
+        self,
+        interval: PlanInterval,
+        nodes: dict[str, int],
+        delta: float,
+        map_gb_this_interval: float,
+    ) -> float:
+        """GB of reduce input the allocated nodes can process."""
+        job = self.job
+        capacity = 0.0
+        for name, count in nodes.items():
+            service = self._services[name]
+            rate = self.actual.actual_rate(service, job.throughput_scale)
+            used_for_map = 0.0
+            if map_gb_this_interval > 0 and interval.map_gb > 0:
+                share = sum(
+                    gb for (s, d), gb in interval.map_read_gb.items() if d == name
+                )
+                used_for_map = min(1.0, share / max(interval.map_gb, _EPS))
+            capacity += (
+                count
+                * rate
+                * job.reduce_speed_factor
+                * delta
+                * max(0.0, 1.0 - used_for_map * 0.5)
+            )
+        return capacity
 
     # -- phases -----------------------------------------------------------------
 
@@ -279,9 +321,7 @@ class FluidExecutor:
         problem = self.problem
         capacity: dict[str, float] = {}
         for name, count in nodes.items():
-            service = self._services[name]
-            rate = self.actual.actual_rate(service, job.throughput_scale)
-            capacity[name] = count * rate * delta
+            capacity[name] = self._map_capacity(name, count, delta)
         available = dict(start_input)
         if problem.upload_read_lag == 0:
             for name, gb in state.stored_input.items():
@@ -369,23 +409,9 @@ class FluidExecutor:
         remaining = job.map_output_gb - state.reduce_done_gb
         if remaining <= _EPS:
             return 0.0
-        capacity = 0.0
-        for name, count in nodes.items():
-            service = self._services[name]
-            rate = self.actual.actual_rate(service, job.throughput_scale)
-            used_for_map = 0.0
-            if map_gb_this_interval > 0 and interval.map_gb > 0:
-                share = sum(
-                    gb for (s, d), gb in interval.map_read_gb.items() if d == name
-                )
-                used_for_map = min(1.0, share / max(interval.map_gb, _EPS))
-            capacity += (
-                count
-                * rate
-                * job.reduce_speed_factor
-                * delta
-                * max(0.0, 1.0 - used_for_map * 0.5)
-            )
+        capacity = self._reduce_capacity(
+            interval, nodes, delta, map_gb_this_interval
+        )
         available = sum(state.stored_output.values())
         moved = min(remaining, capacity, available)
         if moved <= _EPS:

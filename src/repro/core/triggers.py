@@ -109,7 +109,7 @@ class EvictionTrigger(Trigger):
 
 
 class FailureTrigger(Trigger):
-    """State was destroyed (spot storage loss, node failure)."""
+    """State was destroyed (spot storage loss, node/worker failure)."""
 
     kind = "failure"
 
@@ -118,6 +118,9 @@ class FailureTrigger(Trigger):
             return self._fire(
                 f"spot storage loss of {ctx.outcome.spot_data_lost_gb:.1f} GB"
             )
+        failed = getattr(ctx.outcome, "failed_services", None)
+        if failed:
+            return self._fire(f"worker failure on {','.join(sorted(failed))}")
         return None
 
 

@@ -1,0 +1,59 @@
+"""Pluggable execution backends behind one :class:`Executor` protocol.
+
+See :mod:`repro.exec.base` for the protocol and the backend matrix, and
+``docs/executors.md`` for the narrative guide (including how to add a
+backend).
+"""
+
+from .base import BACKENDS, Executor, make_executor
+from .sim import SimExecutor
+from .tasks import (
+    DEFAULT_TIMEOUT_S,
+    TASK_KINDS,
+    TASK_STATUSES,
+    TaskResult,
+    TaskSpec,
+    decode_batch,
+    decode_results,
+    encode_batch,
+    encode_results,
+    execute_task,
+    execute_task_wire,
+)
+from .work import DEFAULT_OPTIONS, TaskReport, TaskRunner, WorkExecutor
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_OPTIONS",
+    "DEFAULT_TIMEOUT_S",
+    "Executor",
+    "SimExecutor",
+    "TASK_KINDS",
+    "TASK_STATUSES",
+    "TaskReport",
+    "TaskResult",
+    "TaskRunner",
+    "TaskSpec",
+    "WorkExecutor",
+    "decode_batch",
+    "decode_results",
+    "encode_batch",
+    "encode_results",
+    "execute_task",
+    "execute_task_wire",
+    "make_executor",
+]
+
+
+def __getattr__(name: str):
+    # Pool/stub classes import concurrent.futures/subprocess machinery;
+    # load them on demand so ``import repro.exec`` stays light.
+    if name == "PoolExecutor":
+        from .pool import PoolExecutor
+
+        return PoolExecutor
+    if name == "StubContainerExecutor":
+        from .stub import StubContainerExecutor
+
+        return StubContainerExecutor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

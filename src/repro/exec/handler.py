@@ -1,0 +1,36 @@
+"""Container-side task handler: ``python -m repro.exec.handler``.
+
+Reads one task batch (``{"tasks": [...]}``) from stdin, executes each
+task with the shared worker entry point, writes the result batch
+(``{"results": [...]}``) to stdout, and exits 0.  Anything that breaks
+the batch as a whole — undecodable input, a worker SIGKILL taking the
+process down — surfaces as a non-zero exit status, which the caller
+treats as a whole-batch failure (see :mod:`repro.exec.stub`).
+
+This module is the stand-in for a container image's entrypoint: a real
+image would ``COPY`` the ``repro`` package and run exactly this.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .tasks import decode_batch, encode_results, execute_task
+
+
+def main(stdin=None, stdout=None) -> int:
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    try:
+        specs = decode_batch(stdin.read())
+    except (ValueError, KeyError) as exc:
+        print(f"handler: bad task batch on stdin: {exc}", file=sys.stderr)
+        return 2
+    results = [execute_task(spec) for spec in specs]
+    stdout.write(encode_results(results))
+    stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The fluid simulator adapted behind the :class:`Executor` protocol."""
+
+from __future__ import annotations
+
+from ..core.executor import FluidExecutor, IntervalOutcome
+from ..core.plan import PlanInterval
+from ..core.problem import PlanningProblem, SystemState
+
+
+class SimExecutor(FluidExecutor):
+    """``backend="sim"``: the historical fluid executor, protocol-shaped.
+
+    Behaviour is byte-identical to driving :class:`FluidExecutor`
+    directly — :meth:`run_interval` *is* ``execute_interval`` — which is
+    what keeps sim-backend trace logs verifiable against runs recorded
+    before the backend seam existed.
+    """
+
+    name = "sim"
+
+    def run_interval(
+        self, interval: PlanInterval, state: SystemState
+    ) -> IntervalOutcome:
+        return self.execute_interval(interval, state)
+
+    def rebind(self, problem: PlanningProblem) -> None:
+        """Adopt a re-planned problem in place.
+
+        Equivalent to constructing a fresh executor against ``problem``
+        (the historical re-plan path): ``actual``, the ledger and the
+        hour offset are run-scoped and unchanged, and stale spot bids
+        are irrelevant because the controller refreshes every spot
+        service's bid before each interval.
+        """
+        self.problem = problem
+        self.job = problem.job
+        self._services = {s.name: s for s in problem.services}
+
+    def close(self) -> None:
+        """The simulator holds no external resources."""
+
+
+__all__ = ["SimExecutor"]

@@ -63,6 +63,11 @@ class FleetConfig:
     step_hours: float = 1.0
     #: Absolute substrate hour at which the fleet starts (trace offset).
     start_hour: float = 0.0
+    #: Execution backend every fleet deployment runs on
+    #: (see :data:`repro.exec.BACKENDS`).
+    backend: str = "sim"
+    #: Backend knobs for the real-execution backends (``None`` = defaults).
+    backend_options: dict | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -293,6 +298,8 @@ class FleetScheduler:
             trace_offset_hours=self.config.start_hour,
             problem_kwargs=problem_kwargs,
             triggers=interval_trigger_policy(self.config.interval_cadence_hours),
+            backend=self.config.backend,
+            backend_options=self.config.backend_options,
         )
         base_rates = {
             s.name: (actual_rates or {}).get(s.name, s.throughput_gb_per_hour)
@@ -406,6 +413,7 @@ class FleetScheduler:
                     "started",
                     hour=config.start_hour,
                     session_id=deployment.index,
+                    backend=config.backend if config.backend != "sim" else "",
                 )
 
         elapsed = 0.0
@@ -467,6 +475,9 @@ class FleetScheduler:
             for deployment in self.deployments:
                 finish(deployment, end_hour)
             tracer.end(fleet_summary(result), hour=end_hour)
+        for deployment in self.deployments:
+            if deployment.run is not None:
+                deployment.run.close()
         return result
 
     # -- event routing -----------------------------------------------------

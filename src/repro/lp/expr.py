@@ -273,13 +273,32 @@ class Constraint:
         return -self.expr.constant
 
     def satisfied_by(self, values: Mapping[Variable, float], tol: float = 1e-6) -> bool:
-        """Check the constraint under an assignment, within ``tol``."""
+        """Check the constraint under an assignment, within ``tol``.
+
+        ``tol`` is relative to the row's infinity norm: the residual is
+        compared against ``tol * max(1, |constant|, max|coef|)``, the
+        standard scaled feasibility check.  Solver round-off scales with
+        the row's coefficients — a row like ``x - 850*n <= 0`` solved
+        through presolve and a MIP gap can carry an absolute residual
+        orders of magnitude above an unscaled ``tol`` while still being
+        feasible for every practical purpose.
+        """
         lhs = self.expr.evaluate(values)
+        scale = max(
+            1.0,
+            abs(self.expr.constant),
+            *(
+                abs(coef)
+                for coef in self.expr.terms.values()
+                if coef != 0.0
+            ),
+        )
+        allowed = tol * scale
         if self.sense is Sense.LE:
-            return lhs <= tol
+            return lhs <= allowed
         if self.sense is Sense.GE:
-            return lhs >= -tol
-        return abs(lhs) <= tol
+            return lhs >= -allowed
+        return abs(lhs) <= allowed
 
     def __repr__(self) -> str:
         label = f" [{self.name}]" if self.name else ""

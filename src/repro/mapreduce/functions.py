@@ -1,0 +1,149 @@
+"""Named map/reduce callables — the real work behind execution backends.
+
+The process-pool and stub-container backends of :mod:`repro.exec` run
+*actual* map and reduce functions over actual bytes, in contrast to the
+fluid simulator's GB-flow accounting.  Task specs travel as JSON (and
+process-pool arguments must pickle), so tasks reference their function
+by **name**; this module is the registry those names resolve against.
+
+Everything here is standard-library only: the stub backend imports it in
+a fresh subprocess per task batch, where a heavyweight import would
+dominate the run.
+
+Input bytes are synthesized deterministically from the task's seed
+(:func:`synthesize_text`), so a task is a pure function of its spec —
+the same spec always produces the same counts, which the conformance
+suite relies on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import zlib
+from typing import Callable, Iterable, Mapping
+
+#: Vocabulary size of the synthesized text (small enough that a map
+#: task's full count dict travels cheaply in a JSON result).
+_VOCABULARY = 512
+
+_WORDS = [f"w{index:03d}" for index in range(_VOCABULARY)]
+
+
+def seed_for(task_id: str) -> int:
+    """Deterministic 32-bit seed for a task id (stable across runs)."""
+    digest = hashlib.sha256(task_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def synthesize_text(seed: int, size_bytes: int) -> bytes:
+    """Deterministic whitespace-separated text of roughly ``size_bytes``.
+
+    Word frequencies follow a Zipf-ish 1/rank distribution, so word
+    counts are skewed the way real text is (the reduce merge is not
+    trivially uniform).
+    """
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) for rank in range(_VOCABULARY)]
+    out: list[str] = []
+    size = 0
+    while size < size_bytes:
+        word = rng.choices(_WORDS, weights=weights)[0]
+        out.append(word)
+        size += len(word) + 1
+    return " ".join(out).encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# map functions: bytes -> dict[str, int]
+
+
+def wordcount_map(data: bytes) -> dict[str, int]:
+    """Count words in a chunk of text (the canonical MapReduce example)."""
+    counts: dict[str, int] = {}
+    for word in data.decode("utf-8", errors="replace").split():
+        counts[word] = counts.get(word, 0) + 1
+    return counts
+
+
+def linecount_map(data: bytes) -> dict[str, int]:
+    """Count lines and bytes — a trivially cheap map for overhead tests."""
+    return {"lines": data.count(b"\n") + 1, "bytes": len(data)}
+
+
+def checksum_map(data: bytes) -> dict[str, int]:
+    """CRC32 the chunk — CPU-only, no parsing."""
+    return {"crc32": zlib.crc32(data), "bytes": len(data)}
+
+
+# ---------------------------------------------------------------------------
+# reduce functions: iterable of partial counts -> merged counts
+
+
+def sum_reduce(partials: Iterable[Mapping[str, int]]) -> dict[str, int]:
+    """Merge partial count dicts by key-wise addition (wordcount merge)."""
+    merged: dict[str, int] = {}
+    for partial in partials:
+        for key, value in partial.items():
+            merged[key] = merged.get(key, 0) + int(value)
+    return merged
+
+
+def xor_reduce(partials: Iterable[Mapping[str, int]]) -> dict[str, int]:
+    """Fold checksums with XOR (order-independent combine)."""
+    folded = 0
+    total = 0
+    for partial in partials:
+        folded ^= int(partial.get("crc32", 0))
+        total += int(partial.get("bytes", 0))
+    return {"crc32": folded, "bytes": total}
+
+
+#: name -> map callable (bytes -> counts).
+MAP_FUNCTIONS: dict[str, Callable[[bytes], dict[str, int]]] = {
+    "wordcount": wordcount_map,
+    "linecount": linecount_map,
+    "checksum": checksum_map,
+}
+
+#: name -> reduce callable (partial counts -> merged counts).
+REDUCE_FUNCTIONS: dict[str, Callable[..., dict[str, int]]] = {
+    "wordcount": sum_reduce,
+    "linecount": sum_reduce,
+    "checksum": xor_reduce,
+}
+
+
+def resolve_map(name: str) -> Callable[[bytes], dict[str, int]]:
+    try:
+        return MAP_FUNCTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown map function {name!r}; "
+            f"expected one of {sorted(MAP_FUNCTIONS)}"
+        ) from None
+
+
+def resolve_reduce(name: str) -> Callable[..., dict[str, int]]:
+    try:
+        return REDUCE_FUNCTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown reduce function {name!r}; "
+            f"expected one of {sorted(REDUCE_FUNCTIONS)}"
+        ) from None
+
+
+__all__ = [
+    "MAP_FUNCTIONS",
+    "REDUCE_FUNCTIONS",
+    "checksum_map",
+    "linecount_map",
+    "resolve_map",
+    "resolve_reduce",
+    "seed_for",
+    "sum_reduce",
+    "synthesize_text",
+    "wordcount_map",
+    "xor_reduce",
+]

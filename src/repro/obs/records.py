@@ -273,6 +273,11 @@ class LifecycleV1:
     cost: float = 0.0
     replans: int = 0
     completion_hours: float = 0.0
+    #: Execution backend the deployment runs on.  Additive: ``""`` means
+    #: the sim default and is omitted from the wire form, so logs
+    #: recorded before backends existed parse (and re-serialize)
+    #: byte-identically.
+    backend: str = ""
 
     def __post_init__(self) -> None:
         _require(self.phase in LIFECYCLE_PHASES,
@@ -282,7 +287,7 @@ class LifecycleV1:
                            float(self.completion_hours))
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "tenant": self.tenant,
             "phase": self.phase,
             "session_id": self.session_id,
@@ -291,6 +296,9 @@ class LifecycleV1:
             "replans": self.replans,
             "completion_hours": self.completion_hours,
         }
+        if self.backend:
+            payload["backend"] = self.backend
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "LifecycleV1":
@@ -305,6 +313,7 @@ class LifecycleV1:
             completion_hours=_num(
                 data.pop("completion_hours", 0.0), "completion_hours"
             ),
+            backend=_str(data.pop("backend", ""), "backend"),
         )
         _finish(data, cls.KIND)
         return lifecycle

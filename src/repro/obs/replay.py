@@ -171,6 +171,9 @@ def _deploy_kwargs(scenario: dict) -> dict:
     offset = scenario.get("trace_offset_hours")
     if offset:
         kwargs["trace_offset_hours"] = float(offset)
+    backend = scenario.get("backend")
+    if backend:
+        kwargs["backend"] = str(backend)
     return kwargs
 
 
@@ -283,8 +286,20 @@ _MAX_DIVERGENCES = 10
 
 
 def verify(records: list[TraceRecordV1]) -> ReplayReport:
-    """Re-execute a log's scenario and diff the deterministic streams."""
-    run_kind, _ = scenario_of(records)
+    """Re-execute a log's scenario and diff the deterministic streams.
+
+    Only the ``sim`` backend is deterministic — real execution backends
+    (``pool``/``stub``) run actual workers whose timings and failures
+    are not a function of the scenario, so their logs cannot be
+    byte-verified and this raises :class:`TraceError` for them.
+    """
+    run_kind, scenario = scenario_of(records)
+    backend = str(scenario.get("backend", "sim"))
+    if backend != "sim":
+        raise TraceError(
+            f"cannot verify a {backend!r}-backend trace: only the sim "
+            "backend re-executes deterministically"
+        )
     expected = deterministic_lines(records)
     replayed, _result = reexecute(records)
     observed = deterministic_lines(replayed)
@@ -366,14 +381,18 @@ def resume(records: list[TraceRecordV1]):
         config=knobs.get("controller_config"),
         trace_offset_hours=knobs.get("trace_offset_hours", 0.0),
         problem_kwargs=problem_kwargs,
+        backend=knobs.get("backend", "sim"),
     )
     run = ControllerRun.restore(
         controller, snapshots[-1].payload["state"],
         actual=knobs.get("actual"),
     )
-    while run.step() is not None:
-        pass
-    return run.result()
+    try:
+        while run.step() is not None:
+            pass
+        return run.result()
+    finally:
+        run.close()
 
 
 __all__ = [

@@ -153,6 +153,7 @@ class RunTracer:
         cost: float = 0.0,
         replans: int = 0,
         completion_hours: float = 0.0,
+        backend: str = "",
     ) -> None:
         self._emit(
             "lifecycle",
@@ -164,6 +165,7 @@ class RunTracer:
                 cost=cost,
                 replans=replans,
                 completion_hours=completion_hours,
+                backend=backend,
             ),
             hour,
         )

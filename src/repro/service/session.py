@@ -109,22 +109,29 @@ class DeploySession:
             ))
 
         run = self.controller.start(self.actual, on_replan=on_replan)
+        backend = self.controller.backend
         tracer.lifecycle(
             self.tenant, "started", hour=run.state.hour,
             session_id=self.session_id,
+            # Recorded only off the sim default, so pre-backend sim logs
+            # stay byte-identical.
+            backend=backend if backend != "sim" else "",
         )
-        step = 0
-        while (outcome := run.step()) is not None:
-            step += 1
-            self._events.put(outcome)
-            tracer.deploy_event(DeployEventV1.from_outcome(
-                outcome, tenant=self.tenant, session_id=self.session_id,
-            ))
-            tracer.snapshot(
-                self.tenant, step, run.snapshot(),
-                hour=run.state.hour, session_id=self.session_id,
-            )
-        result = run.result()
+        try:
+            step = 0
+            while (outcome := run.step()) is not None:
+                step += 1
+                self._events.put(outcome)
+                tracer.deploy_event(DeployEventV1.from_outcome(
+                    outcome, tenant=self.tenant, session_id=self.session_id,
+                ))
+                tracer.snapshot(
+                    self.tenant, step, run.snapshot(),
+                    hour=run.state.hour, session_id=self.session_id,
+                )
+            result = run.result()
+        finally:
+            run.close()
         tracer.lifecycle(
             self.tenant,
             "completed" if result.completed else "failed",
@@ -236,6 +243,8 @@ class SessionManager:
         problem_kwargs: dict | None = None,
         triggers: TriggerPolicy | None = None,
         tracer=None,
+        backend: str = "sim",
+        backend_options: dict | None = None,
     ) -> DeploySession:
         """Launch a controller loop for an accepted plan's job."""
         controller = JobController(
@@ -250,6 +259,8 @@ class SessionManager:
             trace_offset_hours=trace_offset_hours,
             problem_kwargs=problem_kwargs,
             triggers=triggers,
+            backend=backend,
+            backend_options=backend_options,
         )
         with self._lock:
             session_id = next(self._ids)

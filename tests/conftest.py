@@ -1,0 +1,33 @@
+"""Suite-wide fixtures: randomness isolation for order-independent tests.
+
+``repro.sim.rng`` itself is stateless — every generator is hash-derived
+from an explicit root seed (:func:`repro.sim.rng.derive_seed`), so
+library randomness cannot leak between tests by construction.  What
+*can* leak is the interpreter's global RNG state: any test (or library
+under test — hypothesis, workload synthesizers) that touches
+``random.random()`` or legacy ``numpy.random.*`` mutates process-global
+state that the next test silently inherits, making outcomes depend on
+execution order.
+
+The autouse fixture below snapshots both global states before every test
+and restores them after, so no test can observe another's draws and
+``pytest -p no:randomly``-style reordering (or ``-x`` reruns of a single
+test) can never change a result.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_rng_state():
+    """Snapshot/restore ``random`` and legacy ``np.random`` global state."""
+    python_state = random.getstate()
+    numpy_state = np.random.get_state()
+    try:
+        yield
+    finally:
+        random.setstate(python_state)
+        np.random.set_state(numpy_state)

@@ -1,0 +1,38 @@
+"""The conformance suite, instantiated once per execution backend.
+
+``conformance.ExecutorConformance`` holds the shared contract; the
+classes here only pick the backend.  Adding a backend to
+:data:`repro.exec.BACKENDS` without adding a class below fails the
+coverage test at the bottom.
+"""
+
+from conformance import ExecutorConformance
+
+from repro.exec import BACKENDS, make_executor
+
+
+class TestSimConformance(ExecutorConformance):
+    backend = "sim"
+
+
+class TestPoolConformance(ExecutorConformance):
+    backend = "pool"
+
+
+class TestStubConformance(ExecutorConformance):
+    backend = "stub"
+
+
+def test_every_backend_has_a_conformance_class():
+    covered = {
+        cls.backend
+        for cls in ExecutorConformance.__subclasses__()
+    }
+    assert covered == set(BACKENDS)
+
+
+def test_unknown_backend_is_rejected_with_the_menu():
+    import pytest
+
+    with pytest.raises(ValueError, match="sim"):
+        make_executor("warehouse", None, None)

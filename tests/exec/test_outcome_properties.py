@@ -1,0 +1,114 @@
+"""Property-style randomized tests for :class:`IntervalOutcome` edges.
+
+The outcome record is the one object every backend, the trigger policy
+and the wire schema all agree on, so its invariants are checked over
+randomized inputs rather than a handful of examples: ``map_shortfall``
+stays in [0, 1] for *any* non-negative progress/plan pair (including
+the zero-plan and zero-duration degenerate intervals), and the loss
+accounting (``spot_data_lost_gb``, ``failed_services``) survives the
+wire round-trip bit-for-bit.
+"""
+
+import json
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.api.schemas import DeployEventV1
+from repro.core.executor import IntervalOutcome
+
+gb = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+tiny = st.floats(
+    min_value=0.0, max_value=1e-9, allow_nan=False, allow_infinity=False
+)
+
+
+def outcome(
+    map_gb=0.0,
+    planned_map_gb=0.0,
+    duration_hours=1.0,
+    spot_data_lost_gb=0.0,
+    failed_services=(),
+):
+    return IntervalOutcome(
+        index=1,
+        start_hour=0.0,
+        duration_hours=duration_hours,
+        nodes={"ec2.m1.large": 2},
+        uploaded_gb=0.0,
+        map_gb=map_gb,
+        reduce_gb=0.0,
+        downloaded_gb=0.0,
+        planned_map_gb=planned_map_gb,
+        planned_upload_gb=0.0,
+        cost=0.25,
+        spot_data_lost_gb=spot_data_lost_gb,
+        failed_services=list(failed_services),
+    )
+
+
+class TestMapShortfallBounds:
+    @given(map_gb=gb, planned=gb)
+    def test_always_within_unit_interval(self, map_gb, planned):
+        shortfall = outcome(map_gb=map_gb, planned_map_gb=planned).map_shortfall
+        assert 0.0 <= shortfall <= 1.0
+
+    @given(planned=tiny, map_gb=gb)
+    def test_zero_plan_means_zero_shortfall(self, planned, map_gb):
+        """No planned map work -> nothing to fall short of, even if some
+        progress number is present (carry-over rounding)."""
+        assert outcome(map_gb=map_gb, planned_map_gb=planned).map_shortfall == 0.0
+
+    @given(planned=st.floats(min_value=1e-6, max_value=1e9,
+                             allow_nan=False, allow_infinity=False))
+    def test_no_progress_is_total_shortfall(self, planned):
+        assert outcome(map_gb=0.0, planned_map_gb=planned).map_shortfall == 1.0
+
+    @given(overachieved=gb, planned=st.floats(min_value=1e-6, max_value=1e9,
+                                              allow_nan=False,
+                                              allow_infinity=False))
+    def test_progress_beyond_plan_clamps_to_zero(self, overachieved, planned):
+        shortfall = outcome(
+            map_gb=planned + overachieved, planned_map_gb=planned
+        ).map_shortfall
+        assert shortfall == 0.0
+
+    @given(map_gb=gb, planned=gb)
+    def test_zero_duration_interval_is_well_defined(self, map_gb, planned):
+        """A zero-length interval (plan boundary degenerate case) still
+        yields a bounded shortfall and serializes cleanly."""
+        degenerate = outcome(
+            map_gb=map_gb, planned_map_gb=planned, duration_hours=0.0
+        )
+        assert 0.0 <= degenerate.map_shortfall <= 1.0
+        wire = DeployEventV1.from_outcome(degenerate).to_dict()
+        assert wire["duration_hours"] == 0.0
+
+
+class TestLossAccountingRoundTrips:
+    @given(lost=gb, failed=st.lists(
+        st.sampled_from(["ec2.m1.large", "ec2.m1.xlarge", "s3"]),
+        unique=True,
+    ))
+    def test_wire_round_trip_is_exact(self, lost, failed):
+        event = DeployEventV1.from_outcome(
+            outcome(spot_data_lost_gb=lost, failed_services=sorted(failed))
+        )
+        decoded = DeployEventV1.from_dict(
+            json.loads(json.dumps(event.to_dict()))
+        )
+        assert decoded == event
+        assert decoded.spot_data_lost_gb == lost  # bit-for-bit, not approx
+        assert decoded.failed_services == tuple(sorted(failed))
+
+    @given(lost=gb)
+    def test_empty_failure_list_stays_off_the_wire(self, lost):
+        """The additive field is omitted at its default, which is what
+        keeps sim-backend interval payloads byte-identical to logs
+        recorded before backends existed."""
+        payload = DeployEventV1.from_outcome(
+            outcome(spot_data_lost_gb=lost)
+        ).to_dict()
+        assert "failed_services" not in payload

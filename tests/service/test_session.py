@@ -109,27 +109,37 @@ class TestSessionManager:
     def test_join_all_returns_stragglers_instead_of_hanging(self):
         """The satellite edge case: a session's thread outlives the
         timeout; ``join_all`` must come back (with the straggler) rather
-        than hang or raise."""
+        than hang or raise.
+
+        Synchronized on events rather than wall-clock sleeps: the fake
+        controller signals ``started`` once its thread is actually
+        running (so the short ``join_all`` below is guaranteed to meet a
+        live straggler, however slowly the thread spawned), and blocks
+        on ``release`` until the test lets it finish — no elapsed-time
+        assertions that a loaded CI box could flake.
+        """
         import threading
-        import time
 
         from repro.service.session import DeploySession
 
+        started = threading.Event()
         release = threading.Event()
 
         class SlowController:
             def run(self, actual=None, on_interval=None, on_replan=None):
-                release.wait(timeout=30.0)
+                started.set()
+                assert release.wait(timeout=60.0), (
+                    "test never released the session"
+                )
 
         manager = SessionManager()
         session = DeploySession(99, "slow", SlowController())
         manager._sessions[99] = session
         session._start()
-        started = time.monotonic()
-        stragglers = manager.join_all(timeout=0.2)
-        assert time.monotonic() - started < 5.0
+        assert started.wait(timeout=30.0), "session thread never started"
+        stragglers = manager.join_all(timeout=0.05)
         assert stragglers == [session]
         assert session.running
         release.set()
-        assert manager.join_all(timeout=30.0) == []
+        assert manager.join_all(timeout=60.0) == []
         assert not session.running

@@ -85,3 +85,89 @@ def test_fig16_solving_time(benchmark):
     assert largest["EC2 only"] < largest["S3+EC2"] < largest["EC2+S3+local"]
     # Everything solved.
     assert all(m[3] >= 0 for m in measurements)
+
+
+# -- incremental re-solve: warm-started, delta-patched LPs -----------------
+
+RESOLVE_INPUT_GB = 64.0
+RESOLVE_STEPS = 10
+
+
+def resolve_problem(uplink_mbit: float) -> PlanningProblem:
+    return PlanningProblem(
+        job=PlannerJob(name="resolve", input_gb=RESOLVE_INPUT_GB),
+        services=RESOURCE_SETS["S3+EC2"](),
+        network=NetworkConditions.from_mbit_s(uplink_mbit),
+        goal=Goal.min_cost(deadline_hours=deadline_for(RESOLVE_INPUT_GB)),
+    )
+
+
+def resolve_series() -> list[PlanningProblem]:
+    """A re-plan series: the same deployment re-planned as the observed
+    uplink drifts a little around its nominal 16 Mbit/s.  Structure is
+    identical across the series; only bounds/RHS/cost data move."""
+    jitter = (0.0, 0.1, -0.1, 0.05, -0.05, 0.08, -0.08, 0.02, -0.02, 0.06)
+    return [resolve_problem(16.0 + jitter[k % len(jitter)])
+            for k in range(RESOLVE_STEPS)]
+
+
+def measure_resolve():
+    from repro.core.planner import Planner
+    from repro.service import IncrementalSolver
+
+    series = resolve_series()
+
+    cold_planner = Planner()
+    cold = []
+    for problem in series:
+        t0 = time.perf_counter()
+        plan = cold_planner.plan(problem)
+        cold.append((time.perf_counter() - t0, plan.objective_value))
+
+    warm_solver = IncrementalSolver()
+    warm_solver.solve(resolve_problem(16.0))  # seed the retained matrix
+    warm = []
+    for problem in series:
+        t0 = time.perf_counter()
+        plan = warm_solver.solve(problem)
+        warm.append((time.perf_counter() - t0, plan.objective_value))
+
+    return cold, warm, warm_solver.stats
+
+
+def test_fig16_incremental_resolve(benchmark, bench_metrics):
+    cold, warm, stats = once(benchmark, measure_resolve)
+
+    cold_mean = sum(t for t, _ in cold) / len(cold)
+    warm_mean = sum(t for t, _ in warm) / len(warm)
+    speedup = cold_mean / warm_mean
+    rows = [
+        (k, f"{ct*1e3:.1f} ms", f"{wt*1e3:.1f} ms", f"{ct/wt:.1f}x",
+         f"{abs(wo - co) / max(1.0, abs(co)):.2e}")
+        for k, ((ct, co), (wt, wo)) in enumerate(zip(cold, warm))
+    ]
+    print_table(
+        "Incremental re-solve: warm (delta-patched) vs cold per re-plan",
+        rows,
+        ("step", "cold", "warm", "speedup", "rel obj diff"),
+    )
+    print(f"\nmean cold {cold_mean*1e3:.1f} ms, mean warm {warm_mean*1e3:.1f} ms "
+          f"({speedup:.1f}x); warm={stats.warm} cold={stats.cold} "
+          f"fallbacks={stats.structural_fallbacks + stats.rejected_fallbacks}")
+
+    bench_metrics("warm_speedup", speedup)
+    bench_metrics("cold_mean_s", cold_mean)
+    bench_metrics("warm_mean_s", warm_mean)
+    bench_metrics("warm_solves", stats.warm)
+    bench_metrics("warm_rate", stats.warm_rate)
+
+    # The replan hot path must be >= 5x faster than cold solving ...
+    assert speedup >= 5.0, f"warm re-solve only {speedup:.1f}x faster than cold"
+    # ... while answering with the same plan (objective equal within
+    # solver tolerance, the 1 % MIP gap both paths run under) for every
+    # step of the series ...
+    for (_, cold_obj), (_, warm_obj) in zip(cold, warm):
+        assert abs(warm_obj - cold_obj) <= 0.01 * max(1.0, abs(cold_obj))
+    # ... and the speed must come from actual warm answers, not caching
+    # accidents: most of the series re-certified the retained basis.
+    assert stats.warm >= RESOLVE_STEPS - 2

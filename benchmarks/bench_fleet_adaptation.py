@@ -121,3 +121,124 @@ def test_fleet_adaptation(benchmark):
     print(f"\nevent-driven total ${total_event:.2f} vs "
           f"fixed-interval ${total_interval:.2f} ({saving:.0%} cheaper)")
     assert saving > 0.10
+
+
+# -- the replan hot path: warm re-solves on the Fig. 13 spot mix -----------
+
+REPLAN_STEPS = 16
+
+
+#: Per-replan believed-rate drift: the spread of learned node rates a
+#: fleet's deviation-triggered replans carry within one scheduler step.
+RATE_DRIFT = (1.0, 1.01, 0.99, 1.005, 0.995, 1.008,
+              0.992, 1.002, 0.998, 1.006, 0.994, 1.004)
+
+
+def replan_mix(trace) -> list:
+    """The Fig. 13 spot-trace replan mix: the burst of deviation-
+    triggered replans a fleet step produces.  Every deployment sees the
+    same rolled-forward price forecast off the trace, but each carries a
+    slightly different *learned* node rate — so the problems share one
+    structure and differ only in data (matrix coefficients and costs)."""
+    from repro.core import NetworkConditions, PlanningProblem
+
+    spot = spot_services()[0]
+    estimates = WindowMaxPredictor(5).estimate(
+        trace, START_HOUR, int(DEADLINE_HOURS)
+    )
+    problems = []
+    for step in range(REPLAN_STEPS):
+        factor = RATE_DRIFT[step % len(RATE_DRIFT)]
+        services = [
+            s.replace(throughput_gb_per_hour=s.throughput_gb_per_hour * factor)
+            if s.can_compute
+            else s
+            for s in spot_services()
+        ]
+        problems.append(
+            PlanningProblem(
+                job=PlannerJob(name="kmeans", input_gb=16.0),
+                services=services,
+                network=NetworkConditions(),
+                goal=Goal.min_cost(deadline_hours=DEADLINE_HOURS),
+                spot_price_estimates={spot.name: estimates},
+            )
+        )
+    return problems
+
+
+def measure_warm_replans():
+    import time
+
+    from repro.core.planner import Planner
+    from repro.service import IncrementalSolver
+
+    trace = electricity_like_trace(days=DAYS, seed=SEED)
+    problems = replan_mix(trace)
+
+    cold_planner = Planner()
+    cold = []
+    for problem in problems:
+        t0 = time.perf_counter()
+        plan = cold_planner.plan(problem)
+        cold.append((time.perf_counter() - t0, plan.objective_value))
+
+    warm_solver = IncrementalSolver()
+    warm_solver.solve(problems[0])  # seed the retained matrix
+    warm = []
+    for problem in problems:
+        t0 = time.perf_counter()
+        plan = warm_solver.solve(problem)
+        warm.append((time.perf_counter() - t0, plan.objective_value))
+
+    # The same-step batch: every deployment in one scheduler step whose
+    # replans share a structure solves as one block-diagonal LP.
+    batch = replan_mix(trace)[:4]
+    t0 = time.perf_counter()
+    batched = warm_solver.solve_many(batch)
+    batch_seconds = time.perf_counter() - t0
+
+    return cold, warm, (batch_seconds, batched), warm_solver.stats
+
+
+def test_fleet_warm_replan_speedup(benchmark, bench_metrics):
+    cold, warm, (batch_seconds, batched), stats = once(
+        benchmark, measure_warm_replans
+    )
+
+    cold_mean = sum(t for t, _ in cold) / len(cold)
+    warm_mean = sum(t for t, _ in warm) / len(warm)
+    speedup = cold_mean / warm_mean
+    rows = [
+        (k, f"{ct*1e3:.1f} ms", f"{wt*1e3:.1f} ms", f"{ct/wt:.1f}x",
+         f"{abs(wo - co) / max(1.0, abs(co)):.2e}")
+        for k, ((ct, co), (wt, wo)) in enumerate(zip(cold, warm))
+    ]
+    print_table(
+        "Replan hot path: warm vs cold on the Fig. 13 spot replan mix",
+        rows,
+        ("hour", "cold", "warm", "speedup", "rel obj diff"),
+    )
+    print(f"\nmean cold {cold_mean*1e3:.1f} ms, mean warm {warm_mean*1e3:.1f} ms "
+          f"({speedup:.1f}x); warm={stats.warm} cold={stats.cold} "
+          f"fallbacks={stats.structural_fallbacks + stats.rejected_fallbacks}; "
+          f"batch of {len(batched)} in {batch_seconds*1e3:.1f} ms")
+
+    bench_metrics("warm_speedup", speedup)
+    bench_metrics("cold_mean_s", cold_mean)
+    bench_metrics("warm_mean_s", warm_mean)
+    bench_metrics("warm_solves", stats.warm)
+    bench_metrics("batched_problems", stats.batched_problems)
+
+    # The replan hot path must be >= 5x faster than solving cold ...
+    assert speedup >= 5.0, f"warm re-solve only {speedup:.1f}x faster than cold"
+    # ... with the same answers (objective within the 1 % solver gap) ...
+    for (_, cold_obj), (_, warm_obj) in zip(cold, warm):
+        assert abs(warm_obj - cold_obj) <= 0.01 * max(1.0, abs(cold_obj))
+    # ... mostly via genuine warm re-certification, not cache luck ...
+    assert stats.warm >= REPLAN_STEPS - 2
+    # ... and concurrent same-structure replans batched into one block
+    # solve that answers each cheaper than a mean cold solve.
+    assert stats.batched_problems >= 4
+    assert all(not isinstance(p, Exception) for p in batched)
+    assert batch_seconds / len(batched) < cold_mean

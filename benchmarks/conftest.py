@@ -5,9 +5,21 @@ the series/rows the paper reports; run with ``pytest benchmarks/
 --benchmark-only -s`` to see the tables.  Shape assertions (who wins, by
 roughly what factor) are part of each bench, so a regression in the
 reproduction fails loudly.
+
+Pass ``--bench-json PATH`` to additionally write a machine-readable
+record of the session: per-benchmark wall-clock seconds plus any named
+metrics a bench reported through the ``bench_metrics`` fixture (warm/
+cold speedups, cache rates, ...).  CI's perf-smoke job reads that file
+with ``tools/check_perf.py`` to gate regressions.
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
 
 
 def print_table(title: str, rows: list[tuple], headers: tuple) -> None:
@@ -27,3 +39,62 @@ def print_table(title: str, rows: list[tuple], headers: tuple) -> None:
 def once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+# -- --bench-json: machine-readable session record ------------------------
+
+#: nodeid -> {"seconds": float, "metrics": {name: value}, "outcome": str}
+_RECORDS: dict[str, dict] = {}
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="write per-benchmark timings and reported metrics as JSON",
+    )
+
+
+def _record(nodeid: str) -> dict:
+    return _RECORDS.setdefault(
+        nodeid, {"seconds": None, "metrics": {}, "outcome": None}
+    )
+
+
+@pytest.fixture
+def bench_metrics(request: pytest.FixtureRequest):
+    """Report named numbers (speedups, rates) into the ``--bench-json``
+    record for this benchmark.  Usable whether or not the option is on."""
+    metrics = _record(request.node.nodeid)["metrics"]
+
+    def report(name: str, value: float) -> None:
+        metrics[name] = float(value)
+
+    return report
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item: pytest.Item):
+    start = time.perf_counter()
+    yield
+    _record(item.nodeid)["seconds"] = time.perf_counter() - start
+
+
+def pytest_runtest_logreport(report: pytest.TestReport) -> None:
+    if report.when == "call":
+        _record(report.nodeid)["outcome"] = report.outcome
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    path = session.config.getoption("--bench-json")
+    if not path:
+        return
+    payload = {
+        "exit_status": int(exitstatus),
+        "benchmarks": [
+            {"name": nodeid, **record}
+            for nodeid, record in sorted(_RECORDS.items())
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -489,6 +489,9 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
                         help="plan cache entries (0 disables the cache)")
     parser.add_argument("--time-limit", type=float, default=180.0,
                         help="solver cut-off ceiling in seconds")
+    parser.add_argument("--incremental", action="store_true",
+                        help="warm-start structurally repeated solves "
+                        "(thread/inline pools; see docs/solver.md)")
     parser.add_argument("--metrics-json", metavar="PATH",
                         help="write the unified telemetry snapshot "
                         "(obs registry format)")
@@ -503,6 +506,7 @@ def _orchestrator_for(args):
         pool_mode=args.pool,
         cache_capacity=args.cache_capacity,
         solver_time_limit_s=args.time_limit,
+        incremental=getattr(args, "incremental", False),
     ))
 
 
@@ -645,6 +649,7 @@ def cmd_submit(args) -> int:
         pool_mode=args.pool,
         cache_capacity=args.cache_capacity,
         solver_time_limit_s=args.time_limit,
+        incremental=getattr(args, "incremental", False),
     )) as orchestrator:
         first_plan = None
         for _ in range(max(1, args.repeat)):

@@ -28,10 +28,19 @@ class Planner:
     time_limit: float = 180.0
     mip_gap: float = 0.01
     backend: str = "auto"
+    #: Optional delta-aware solver (duck-typed: ``solve(problem,
+    #: time_limit) -> ExecutionPlan`` raising :class:`PlanningError`).
+    #: When set, ``plan`` delegates to it — this is how the service and
+    #: fleet layers drop the
+    #: :class:`~repro.service.incremental.IncrementalSolver` under a
+    #: plain ``Planner`` without the core importing upward.
+    solver: object | None = None
 
     def plan(self, problem: PlanningProblem) -> ExecutionPlan:
         """Build and solve the model; raise :class:`PlanningError` when no
         feasible deployment exists within the horizon."""
+        if self.solver is not None:
+            return self.solver.solve(problem, self.time_limit)
         built = build_model(problem)
         solution = built.model.solve(
             backend=self.backend, time_limit=self.time_limit, mip_gap=self.mip_gap

@@ -133,6 +133,13 @@ class FleetResult:
     events: list[SubstrateEvent] = field(default_factory=list)
     solves: int = 0
     cache_hits: int = 0
+    #: Solves answered warm by the incremental solver (subset of solves).
+    warm_solves: int = 0
+    #: Warm attempts that fell back cold (structural change or a
+    #: candidate that failed certification).
+    warm_fallbacks: int = 0
+    #: Re-plans certified through block-diagonal batch solves.
+    batched_replans: int = 0
     #: Peak concurrent node demand per service across the whole fleet.
     peak_demand: dict[str, int] = field(default_factory=dict)
 
@@ -196,6 +203,9 @@ def fleet_summary(result: FleetResult) -> dict:
         "makespan_hours": result.makespan_hours,
         "solves": result.solves,
         "cache_hits": result.cache_hits,
+        "warm_solves": result.warm_solves,
+        "warm_fallbacks": result.warm_fallbacks,
+        "batched_replans": result.batched_replans,
         "substrate_events": len(result.events),
         "deployments": [
             {
@@ -238,10 +248,13 @@ class FleetScheduler:
         *,
         planner: Planner | None = None,
         cache_capacity: int = 512,
+        metrics=None,
     ) -> None:
         self.substrate = substrate
         self.config = config or FleetConfig()
-        self.replanner = CachingPlanner(planner, capacity=cache_capacity)
+        self.replanner = CachingPlanner(
+            planner, capacity=cache_capacity, metrics=metrics
+        )
         self.deployments: list[FleetDeployment] = []
 
     # -- building ----------------------------------------------------------
@@ -433,6 +446,7 @@ class FleetScheduler:
             self._restore_failures(elapsed)
             for event in events:
                 self._apply_event(event, active, elapsed)
+            self._prefetch_replans(active)
             demand: dict[str, int] = {}
             for deployment in active:
                 outcome = deployment.run.step()
@@ -454,6 +468,11 @@ class FleetScheduler:
                 peak_demand[service] = max(peak_demand.get(service, 0), nodes)
             elapsed += config.step_hours
 
+        warm_stats = (
+            self.replanner.incremental.stats
+            if self.replanner.incremental is not None
+            else None
+        )
         result = FleetResult(
             mode=config.mode,
             deployments=[
@@ -468,6 +487,13 @@ class FleetScheduler:
             events=all_events,
             solves=self.replanner.solves,
             cache_hits=self.replanner.hits,
+            warm_solves=warm_stats.warm if warm_stats else 0,
+            warm_fallbacks=(
+                warm_stats.structural_fallbacks + warm_stats.rejected_fallbacks
+                if warm_stats
+                else 0
+            ),
+            batched_replans=warm_stats.batched_problems if warm_stats else 0,
             peak_demand=peak_demand,
         )
         if tracer is not None:
@@ -479,6 +505,28 @@ class FleetScheduler:
             if deployment.run is not None:
                 deployment.run.close()
         return result
+
+    def _prefetch_replans(self, active: list[FleetDeployment]) -> None:
+        """Batch the step's pending re-plans into one prefetch solve.
+
+        Every deployment with a re-plan pending exposes the exact
+        problem it is about to solve (:meth:`ControllerRun.
+        peek_replan_problem`); pushing them through the shared planner's
+        :meth:`~repro.fleet.replanner.CachingPlanner.plan_batch` turns N
+        concurrent warm certifications into one block-diagonal LP and
+        pre-publishes the plans, so the subsequent ``step()`` calls
+        adopt them from the cache.  A single pending re-plan solves just
+        as fast inline, so batching only kicks in at two or more.
+        """
+        if self.replanner.incremental is None:
+            return  # plan_batch would no-op; skip the peeks entirely
+        pending = [
+            problem
+            for deployment in active
+            if (problem := deployment.run.peek_replan_problem()) is not None
+        ]
+        if len(pending) >= 2:
+            self.replanner.plan_batch(pending)
 
     # -- event routing -----------------------------------------------------
 

@@ -1,0 +1,181 @@
+"""Compiled-matrix diffing and in-place patching.
+
+The replan hot path re-solves a model that is almost identical to the
+previous one: spot-price estimates moved (objective coefficients),
+capacity changed (variable bounds), work got done (right-hand sides).
+This module compares two :class:`~repro.lp.model.CompiledModel` objects
+that came from the *same model structure* and classifies the change:
+
+- **patchable** — only numeric data moved (variable bounds, row bounds,
+  matrix coefficient values on unchanged sparsity, objective): the diff
+  is a :class:`CompiledDelta` that :meth:`CompiledDelta.apply` writes
+  into the retained matrix in place;
+- **structural** — anything that changes shape (column/row counts,
+  sparsity patterns, integrality, bound finiteness, column identity):
+  :func:`diff_compiled` returns ``None`` and the caller must fall back
+  to a cold compile + solve.
+
+Bound *finiteness* counts as structure because the pure-simplex standard
+form emits one slack column per finite bound side — a bound flipping
+between finite and infinite relays to a different standard-form layout
+and would invalidate any retained basis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+
+from .model import CompiledModel
+
+__all__ = ["CompiledDelta", "diff_compiled", "structural_signature"]
+
+
+@dataclass
+class CompiledDelta:
+    """A pure-data patch between two structurally identical matrices."""
+
+    #: ``(column, new_lb, new_ub)`` for every variable whose bounds moved.
+    var_bounds: list[tuple[int, float, float]] = field(default_factory=list)
+    #: ``(row, new_lb, new_ub)`` for every constraint whose sides moved.
+    row_bounds: list[tuple[int, float, float]] = field(default_factory=list)
+    #: ``(row, column, new_coef)`` value changes on unchanged sparsity.
+    matrix: list[tuple[int, int, float]] = field(default_factory=list)
+    #: Full replacement objective mapping, or ``None`` if unchanged.
+    #: (Objective sparsity is not structure: a price decaying to zero
+    #: drops the key without touching the constraint matrix.)
+    objective: dict[int, float] | None = None
+    objective_offset: float | None = None
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.var_bounds
+            or self.row_bounds
+            or self.matrix
+            or self.objective is not None
+            or self.objective_offset is not None
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of individual patches (for logging/metrics)."""
+        return (
+            len(self.var_bounds)
+            + len(self.row_bounds)
+            + len(self.matrix)
+            + (len(self.objective) if self.objective is not None else 0)
+            + (1 if self.objective_offset is not None else 0)
+        )
+
+    def apply(self, compiled: CompiledModel) -> None:
+        """Write the patch into ``compiled`` in place."""
+        for col, lo, hi in self.var_bounds:
+            compiled.var_lb[col] = lo
+            compiled.var_ub[col] = hi
+        for row, lo, hi in self.row_bounds:
+            compiled.row_lb[row] = lo
+            compiled.row_ub[row] = hi
+        for row, col, coef in self.matrix:
+            compiled.rows[row][col] = coef
+        if self.objective is not None:
+            compiled.objective = dict(self.objective)
+        if self.objective_offset is not None:
+            compiled.objective_offset = self.objective_offset
+
+
+def _same_finiteness(a: float, b: float) -> bool:
+    return math.isfinite(a) == math.isfinite(b) and (
+        math.isfinite(a) or (a > 0) == (b > 0)
+    )
+
+
+def _column_name(compiled: CompiledModel, col: int) -> str | None:
+    var = compiled.columns[col]
+    return None if var is None else var.name
+
+
+def diff_compiled(old: CompiledModel, new: CompiledModel) -> CompiledDelta | None:
+    """Classify ``old -> new``; ``None`` means the change is structural.
+
+    Structure is judged conservatively: column count and identity (by
+    variable name — two models of the same shape but over different
+    service sets must not patch into each other), row count and per-row
+    sparsity, integrality flags, objective sense, and the finiteness
+    pattern of every bound.  Everything that passes is expressible as a
+    :class:`CompiledDelta`, and applying it to ``old`` makes it
+    numerically identical to ``new``.
+    """
+    if old.num_vars != new.num_vars or len(old.rows) != len(new.rows):
+        return None
+    if old.negated != new.negated:
+        return None
+    if old.integrality != new.integrality:
+        return None
+    for col in range(old.num_vars):
+        if _column_name(old, col) != _column_name(new, col):
+            return None
+
+    delta = CompiledDelta()
+    for col in range(new.num_vars):
+        old_lo, old_hi = old.var_lb[col], old.var_ub[col]
+        new_lo, new_hi = new.var_lb[col], new.var_ub[col]
+        if not (_same_finiteness(old_lo, new_lo) and _same_finiteness(old_hi, new_hi)):
+            return None
+        if old_lo != new_lo or old_hi != new_hi:
+            delta.var_bounds.append((col, new_lo, new_hi))
+
+    for r, (old_row, new_row) in enumerate(zip(old.rows, new.rows)):
+        old_lo, old_hi = old.row_lb[r], old.row_ub[r]
+        new_lo, new_hi = new.row_lb[r], new.row_ub[r]
+        if not (_same_finiteness(old_lo, new_lo) and _same_finiteness(old_hi, new_hi)):
+            return None
+        if old_lo != new_lo or old_hi != new_hi:
+            delta.row_bounds.append((r, new_lo, new_hi))
+        if old_row.keys() != new_row.keys():
+            return None
+        for col, coef in new_row.items():
+            if old_row[col] != coef:
+                delta.matrix.append((r, col, coef))
+
+    if old.objective != new.objective:
+        delta.objective = dict(new.objective)
+    if old.objective_offset != new.objective_offset:
+        delta.objective_offset = new.objective_offset
+    return delta
+
+
+def structural_signature(compiled: CompiledModel) -> str:
+    """Shape-only digest of a compiled matrix.
+
+    Two matrices share a signature exactly when :func:`diff_compiled`
+    would classify their difference as patchable (pure data).  Used by
+    tests and as a collision re-check in the incremental solver — the
+    problem-level structural fingerprint is a cheaper upper bound, and
+    this is the matrix-level ground truth.
+    """
+    def shape(bound: float) -> int:
+        # 0 = finite, +/-1 = the two infinities (finiteness is structure;
+        # which infinity matters for the standard-form slack layout too).
+        if math.isfinite(bound):
+            return 0
+        return 1 if bound > 0 else -1
+
+    hasher = hashlib.sha256()
+    hasher.update(repr((
+        compiled.num_vars,
+        compiled.negated,
+        tuple(compiled.integrality),
+        tuple(_column_name(compiled, col) for col in range(compiled.num_vars)),
+        tuple(
+            (shape(lo), shape(hi))
+            for lo, hi in zip(compiled.var_lb, compiled.var_ub)
+        ),
+        tuple(tuple(sorted(row)) for row in compiled.rows),
+        tuple(
+            (shape(lo), shape(hi))
+            for lo, hi in zip(compiled.row_lb, compiled.row_ub)
+        ),
+    )).encode("utf-8"))
+    return hasher.hexdigest()

@@ -51,6 +51,11 @@ class Solution:
     solve_seconds: float = 0.0
     backend: str = ""
     message: str = ""
+    #: Optimal simplex basis (standard-form column per row) for pure-LP
+    #: solves on basis-capable backends; feed back as ``start_basis`` to
+    #: warm-start a structurally identical re-solve.  ``None`` when the
+    #: backend does not expose one (HiGHS via ``scipy.optimize.milp``).
+    basis: tuple[int, ...] | None = None
 
     def __getitem__(self, var: Variable) -> float:
         return self.values[var]
@@ -116,6 +121,9 @@ class Model:
         #: re-solving an unchanged model (the planning service's warm
         #: BuiltModel path) skips the lowering pass.
         self._compiled: CompiledModel | None = None
+        #: Variable bounds/types at compile time, used to detect in-place
+        #: mutation (``var.ub = ...``) that bypasses the hooks above.
+        self._compiled_bounds: list[tuple] | None = None
 
     # -- construction -----------------------------------------------------
 
@@ -208,9 +216,16 @@ class Model:
 
         The result is cached until the model is mutated (new variable or
         constraint, objective change); backends treat it as read-only.
+        Variables mutated *in place* (``var.ub = ...``) bypass the
+        explicit invalidation hooks, so the cache is revalidated against
+        the live variable bounds on every call — a stale compiled matrix
+        here would silently serve the planning service's warm
+        ``BuiltModel`` path wrong bounds.
         """
         if self._compiled is not None:
-            return self._compiled
+            if self._compiled_bounds == self._bounds_signature():
+                return self._compiled
+            self._compiled = None
         columns: list[Variable | None] = list(self.variables)
         var_lb = [v.lb for v in self.variables]
         var_ub = [v.ub for v in self.variables]
@@ -278,7 +293,12 @@ class Model:
             columns=columns,
             negated=negated,
         )
+        self._compiled_bounds = self._bounds_signature()
         return self._compiled
+
+    def _bounds_signature(self) -> list[tuple]:
+        """Variable data the compiled matrix bakes in (bounds, types)."""
+        return [(v.lb, v.ub, v.vtype, v.sc_lb) for v in self.variables]
 
     # -- solving ----------------------------------------------------------
 
@@ -288,6 +308,7 @@ class Model:
         time_limit: float | None = 180.0,
         mip_gap: float = 0.01,
         presolve: bool = False,
+        start_basis: tuple[int, ...] | None = None,
     ) -> Solution:
         """Solve the model and return a :class:`Solution`.
 
@@ -308,7 +329,15 @@ class Model:
             internally, so this mainly helps the pure-Python backend and
             the re-planning path, where the system state pins many
             columns.
+        start_basis:
+            Optimal basis of a prior pure-LP solve on an identically
+            shaped model; basis-capable backends warm-start phase 2 from
+            it and fall back to a cold solve when it no longer applies.
+            Incompatible with ``presolve`` (the reduction renumbers
+            columns).
         """
+        if start_basis is not None and presolve:
+            raise ValueError("start_basis cannot be combined with presolve")
         compiled = self.compile()
         start = time.perf_counter()
         reduction = None
@@ -328,19 +357,27 @@ class Model:
             try:
                 from . import scipy_backend
 
-                solution = scipy_backend.solve(compiled, time_limit, mip_gap)
+                solution = scipy_backend.solve(
+                    compiled, time_limit, mip_gap, start_basis=start_basis
+                )
             except ImportError:  # pragma: no cover - scipy is a hard dep
                 from . import simplex_backend
 
-                solution = simplex_backend.solve(compiled, time_limit)
+                solution = simplex_backend.solve(
+                    compiled, time_limit, start_basis=start_basis
+                )
         elif backend == "scipy":
             from . import scipy_backend
 
-            solution = scipy_backend.solve(compiled, time_limit, mip_gap)
+            solution = scipy_backend.solve(
+                compiled, time_limit, mip_gap, start_basis=start_basis
+            )
         elif backend == "simplex":
             from . import simplex_backend
 
-            solution = simplex_backend.solve(compiled, time_limit)
+            solution = simplex_backend.solve(
+                compiled, time_limit, start_basis=start_basis
+            )
         else:
             raise ValueError(f"unknown backend {backend!r}")
 

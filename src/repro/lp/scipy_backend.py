@@ -19,6 +19,19 @@ from scipy.optimize import Bounds, LinearConstraint, milp
 
 from .model import CompiledModel, Solution, SolveStatus
 
+try:  # pragma: no cover - optional accelerator, absent from the base image
+    import highspy  # type: ignore[import-not-found]
+except ImportError:
+    highspy = None
+
+#: Whether the backend can capture/consume simplex bases.  scipy's
+#: ``milp`` wrapper never exposes one, so basis warm starts need the
+#: native ``highspy`` bindings; without them ``start_basis`` is accepted
+#: but ignored and ``Solution.basis`` stays ``None`` (the incremental
+#: solver then certifies warm candidates with plain LP re-solves, which
+#: HiGHS presolves in milliseconds anyway).
+HAS_BASIS = highspy is not None
+
 
 @contextlib.contextmanager
 def _muted_stdout():
@@ -62,12 +75,19 @@ def solve(
     compiled: CompiledModel,
     time_limit: float | None = None,
     mip_gap: float = 0.01,
+    start_basis: tuple[int, ...] | None = None,
 ) -> Solution:
     """Solve a compiled model and return a :class:`Solution`.
 
     The returned solution's ``values`` only cover original model variables;
-    auxiliary lowering columns are dropped.
+    auxiliary lowering columns are dropped.  ``start_basis`` warm-starts
+    pure-LP solves when the native ``highspy`` bindings are importable
+    (see :data:`HAS_BASIS`); it is ignored otherwise and for MILPs.
     """
+    if highspy is not None and not any(compiled.integrality):
+        solution = _solve_lp_highspy(compiled, time_limit, start_basis)
+        if solution is not None:
+            return solution
     n = compiled.num_vars
     c = np.zeros(n)
     for col, coef in compiled.objective.items():
@@ -127,3 +147,166 @@ def _clean(value: float, is_integer: bool) -> float:
     if abs(value) < 1e-9:
         return 0.0
     return float(value)
+
+
+def _solve_lp_highspy(
+    compiled: CompiledModel,
+    time_limit: float | None,
+    start_basis: tuple[int, ...] | None,
+) -> Solution | None:
+    """Pure-LP solve through the native HiGHS bindings with basis I/O.
+
+    Only reached when ``highspy`` is importable (it is not a repo
+    dependency — this is the gated fast path the incremental solver uses
+    on installs that have it).  Any API hiccup falls back to the
+    ``scipy.optimize.milp`` path by returning ``None``.
+    """
+    try:  # pragma: no cover - requires the optional highspy wheel
+        n = compiled.num_vars
+        h = highspy.Highs()
+        h.setOptionValue("output_flag", False)
+        if time_limit is not None:
+            h.setOptionValue("time_limit", float(time_limit))
+        lp = highspy.HighsLp()
+        lp.num_col_ = n
+        lp.num_row_ = len(compiled.rows)
+        lp.col_cost_ = np.zeros(n)
+        for col, coef in compiled.objective.items():
+            lp.col_cost_[col] = coef
+        lp.col_lower_ = np.asarray(compiled.var_lb, dtype=float)
+        lp.col_upper_ = np.asarray(compiled.var_ub, dtype=float)
+        lp.row_lower_ = np.asarray(compiled.row_lb, dtype=float)
+        lp.row_upper_ = np.asarray(compiled.row_ub, dtype=float)
+        starts, index, value = [0], [], []
+        for row in compiled.rows:
+            for col, coef in sorted(row.items()):
+                index.append(col)
+                value.append(coef)
+            starts.append(len(index))
+        lp.a_matrix_.format_ = highspy.MatrixFormat.kRowwise
+        lp.a_matrix_.start_ = np.asarray(starts, dtype=np.int32)
+        lp.a_matrix_.index_ = np.asarray(index, dtype=np.int32)
+        lp.a_matrix_.value_ = np.asarray(value, dtype=float)
+        h.passModel(lp)
+        if start_basis is not None and len(start_basis) == n + len(compiled.rows):
+            basis = highspy.HighsBasis()
+            basis.col_status = [
+                highspy.HighsBasisStatus(int(s)) for s in start_basis[:n]
+            ]
+            basis.row_status = [
+                highspy.HighsBasisStatus(int(s)) for s in start_basis[n:]
+            ]
+            h.setBasis(basis)
+        h.run()
+        status = h.getModelStatus()
+        if status != highspy.HighsModelStatus.kOptimal:
+            return None  # let the milp path classify non-optimal outcomes
+        values = np.asarray(h.getSolution().col_value, dtype=float)
+        basis_out = h.getBasis()
+        solution = Solution(status=SolveStatus.OPTIMAL, backend="highspy")
+        solution.values = {
+            var: _clean(values[col], False)
+            for col, var in enumerate(compiled.columns)
+            if var is not None
+        }
+        objective = float(h.getObjectiveValue()) + compiled.objective_offset
+        solution.objective = -objective if compiled.negated else objective
+        solution.basis = tuple(
+            int(s) for s in list(basis_out.col_status) + list(basis_out.row_status)
+        )
+        return solution
+    except Exception:  # pragma: no cover - any binding mismatch
+        return None
+
+
+def solve_blocks(
+    blocks: list[CompiledModel],
+    time_limit: float | None = None,
+    mip_gap: float = 0.01,
+) -> list[Solution]:
+    """Solve independent compiled models as one block-diagonal program.
+
+    The blocks share no columns, so the composite optimum decomposes into
+    per-block optima exactly (the objective is separable); one HiGHS call
+    amortizes presolve/setup over the whole batch.  This is how the fleet
+    scheduler turns N concurrent replan certifications arriving in the
+    same step into a single solve.
+
+    Statuses are per-composite: an infeasible or unbounded *any* block
+    makes the composite so, in which case every block reports that status
+    and callers should retry the blocks individually to isolate it.
+    """
+    if not blocks:
+        return []
+    if len(blocks) == 1:
+        return [solve(blocks[0], time_limit, mip_gap)]
+
+    offsets = []
+    total_cols = 0
+    for block in blocks:
+        offsets.append(total_cols)
+        total_cols += block.num_vars
+
+    c = np.zeros(total_cols)
+    lb = np.empty(total_cols)
+    ub = np.empty(total_cols)
+    integrality = np.zeros(total_cols, dtype=int)
+    data, row_idx, col_idx, row_lb, row_ub = [], [], [], [], []
+    r = 0
+    for block, offset in zip(blocks, offsets):
+        for col, coef in block.objective.items():
+            c[offset + col] = coef
+        lb[offset:offset + block.num_vars] = block.var_lb
+        ub[offset:offset + block.num_vars] = block.var_ub
+        for col, flag in enumerate(block.integrality):
+            if flag:
+                integrality[offset + col] = 1
+        for row, lo, hi in zip(block.rows, block.row_lb, block.row_ub):
+            for col, coef in row.items():
+                row_idx.append(r)
+                col_idx.append(offset + col)
+                data.append(coef)
+            row_lb.append(lo)
+            row_ub.append(hi)
+            r += 1
+
+    constraints = []
+    if r:
+        matrix = sparse.csr_matrix((data, (row_idx, col_idx)), shape=(r, total_cols))
+        constraints.append(
+            LinearConstraint(matrix, np.asarray(row_lb), np.asarray(row_ub))
+        )
+    options: dict[str, float] = {"mip_rel_gap": mip_gap}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    with _muted_stdout():
+        result = milp(
+            c=c,
+            constraints=constraints,
+            bounds=Bounds(lb, ub),
+            integrality=integrality,
+            options=options,
+        )
+
+    status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+    if status.has_solution and result.x is None:
+        status = SolveStatus.ERROR
+    solutions = []
+    for block, offset in zip(blocks, offsets):
+        solution = Solution(
+            status=status, backend="scipy-highs-block", message=result.message or ""
+        )
+        if status.has_solution:
+            values = np.asarray(result.x)[offset:offset + block.num_vars]
+            solution.values = {
+                var: _clean(values[col], block.integrality[col])
+                for col, var in enumerate(block.columns)
+                if var is not None
+            }
+            objective = (
+                sum(coef * values[col] for col, coef in block.objective.items())
+                + block.objective_offset
+            )
+            solution.objective = -objective if block.negated else objective
+        solutions.append(solution)
+    return solutions

@@ -22,7 +22,13 @@ problems to; this package makes the reproduction act like one:
 
 from .broker import AdmissionError, RequestBroker
 from .cache import CacheStats, LRUCache
-from .fingerprint import canonical_payload, problem_fingerprint
+from .fingerprint import (
+    canonical_payload,
+    problem_fingerprint,
+    structural_fingerprint,
+    structural_payload,
+)
+from .incremental import IncrementalSolver, IncrementalStats
 from .metrics import LatencySeries, ServiceMetrics, percentile
 from .pool import SolverPool, solve_problem
 from .requests import (
@@ -47,6 +53,8 @@ __all__ = [
     "CacheStats",
     "DEFAULT_MIX",
     "DeploySession",
+    "IncrementalSolver",
+    "IncrementalStats",
     "LatencySeries",
     "LRUCache",
     "PlanRequest",
@@ -68,4 +76,6 @@ __all__ = [
     "problem_for_scenario",
     "run_workload",
     "solve_problem",
+    "structural_fingerprint",
+    "structural_payload",
 ]

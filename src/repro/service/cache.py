@@ -65,6 +65,11 @@ class LRUCache(Generic[V]):
                 self._data.popitem(last=False)
                 self.stats.evictions += 1
 
+    def remove(self, key: Hashable) -> None:
+        """Drop ``key`` if present (not counted as an eviction)."""
+        with self._lock:
+            self._data.pop(key, None)
+
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
             return key in self._data

@@ -1,18 +1,30 @@
-"""Canonical problem fingerprints.
+"""Canonical problem fingerprints — exact and structural.
 
 Two tenants asking Conductor the same question should pay for one solve.
-The fingerprint is a SHA-256 over the problem's canonical encoding
-(:meth:`repro.core.problem.PlanningProblem.canonical`), which is stable
-under irrelevant variation: service catalog order, dict insertion order,
-job naming, and ``state=None`` vs. an explicit initial state.  Anything
-that changes the LP — prices, rates, goal, deadline, spot estimates,
-upload fractions, model flags — changes the digest.
+The **exact** fingerprint is a SHA-256 over the problem's canonical
+encoding (:meth:`repro.core.problem.PlanningProblem.canonical`), which is
+stable under irrelevant variation: service catalog order, dict insertion
+order, job naming, and ``state=None`` vs. an explicit initial state.
+Anything that changes the LP — prices, rates, goal, deadline, spot
+estimates, upload fractions, model flags — changes the digest.
+
+The **structural** fingerprint hashes only what determines the *shape*
+of the generated model — horizon length, the service set and its
+capability/limit pattern, goal kind, model flags — and deliberately
+ignores all numeric data (prices, rates, state, spot estimates).  Two
+problems sharing a structural fingerprint compile to matrices of the
+same sparsity, which is what lets the incremental solver patch the
+retained matrix of one and re-solve it warm for the other.  The mapping
+is a cheap upper bound, not a guarantee: the solver re-checks at the
+matrix level (:func:`repro.lp.incremental.diff_compiled`) and falls back
+cold on a collision.
 """
 
 from __future__ import annotations
 
 import hashlib
 
+from ..cloud.services import UNLIMITED
 from ..core.problem import PlanningProblem
 
 
@@ -24,3 +36,49 @@ def canonical_payload(problem: PlanningProblem) -> bytes:
 def problem_fingerprint(problem: PlanningProblem) -> str:
     """Hex SHA-256 fingerprint of a planning problem."""
     return hashlib.sha256(canonical_payload(problem)).hexdigest()
+
+
+def structural_payload(problem: PlanningProblem) -> tuple:
+    """Shape-only canonical encoding (exposed for tests/debugging).
+
+    Includes every input the model builder branches on when deciding
+    *which* variables and constraints exist: the interval count, each
+    service's capabilities and limit finiteness, the goal kind and
+    budget presence, phase structure (does a reduce phase exist), and
+    the model flags.  Excludes everything that only lands in bounds,
+    right-hand sides, or objective coefficients: prices, rates, network
+    capacities, spot estimates, and the system state.
+    """
+    return (
+        "PlanningProblemStructure",
+        problem.horizon_intervals,
+        tuple(
+            (
+                s.name,
+                s.can_compute,
+                s.can_store,
+                s.is_spot,
+                s.max_nodes == UNLIMITED,
+                s.storage_capacity_gb == UNLIMITED,
+                s.storage_gb_per_node > 0,
+                s.provider == problem.local_provider,
+            )
+            for s in sorted(problem.services, key=lambda s: s.name)
+        ),
+        problem.goal.kind.value,
+        problem.goal.budget_usd is not None,
+        problem.job.map_output_ratio > 0,
+        problem.job.reduce_output_ratio > 0,
+        tuple(sorted(problem.upload_fractions)),
+        int(problem.upload_read_lag),
+        bool(problem.allow_migration),
+        bool(problem.constant_nodes),
+        bool(problem.strict_phase_gap),
+    )
+
+
+def structural_fingerprint(problem: PlanningProblem) -> str:
+    """Hex SHA-256 of the problem's shape (data ignored)."""
+    return hashlib.sha256(
+        repr(structural_payload(problem)).encode("utf-8")
+    ).hexdigest()

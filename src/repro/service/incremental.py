@@ -1,0 +1,566 @@
+"""The incremental solver: warm-started, delta-patched re-solves.
+
+Sits between the planning front-ends (the fleet's
+:class:`~repro.fleet.replanner.CachingPlanner`, the service's
+:class:`~repro.service.pool.SolverPool`) and the LP substrate.  The exact
+plan cache only helps when a problem is byte-identical; this layer helps
+when it is merely *shaped* the same — the replan hot path, where every
+re-solve differs from the last only in prices, bounds and right-hand
+sides.
+
+Per structural fingerprint (:func:`~repro.service.fingerprint.
+structural_fingerprint`) the solver retains the previously compiled
+matrix and the previous solution.  A new problem with the same shape is
+diffed against the retained matrix (:func:`repro.lp.incremental.
+diff_compiled`); a pure-data delta is patched into the retained matrix in
+place (keeping it current for the next diff) and the solve restarts warm
+from the previous answer:
+
+- **pure LP** — re-solve from the previous simplex basis (exact: an LP
+  optimum is an LP optimum, warm or cold);
+- **MILP** — the previous integer assignment is re-certified under the
+  new data with two cheap LPs solved as one block-diagonal program: the
+  *candidate* (integers pinned to the previous assignment) and the fresh
+  *root relaxation bound*.  The candidate is accepted when its gap to
+  the bound is within the solver's own optimality tolerance — the
+  configured ``mip_gap`` widened by the memoized integrality gap
+  observed at the last cold solve (the root bound sits below the MIP
+  optimum by roughly that much even when the candidate is exactly
+  optimal).  Anything else — structural change, infeasible candidate,
+  certification failure — falls back to a cold branch & bound, which
+  also refreshes the memo.
+
+``strict=True`` disables the memoized widening so a warm answer is only
+accepted when *proven* optimal against the root bound; the property
+tests run in this mode to pin exact warm/cold equality.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..core.model_builder import BuiltModel, PlanningError, build_model
+from ..core.plan import ExecutionPlan
+from ..core.problem import PlanningProblem
+from ..lp import scipy_backend, simplex_backend
+from ..lp.incremental import diff_compiled
+from ..lp.model import CompiledModel, Solution, SolveStatus
+from .cache import LRUCache
+from .fingerprint import structural_fingerprint
+
+__all__ = ["IncrementalSolver", "IncrementalStats"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class IncrementalStats:
+    """Hit/miss/fallback accounting for one :class:`IncrementalSolver`.
+
+    Every solve lands in exactly one of the first four buckets.
+    """
+
+    #: Warm re-solves served from the retained structure.
+    warm: int = 0
+    #: Cold solves with no retained structure to start from.
+    cold: int = 0
+    #: Cold fallbacks because the shape changed (sparsity, horizon, ...).
+    structural_fallbacks: int = 0
+    #: Cold fallbacks because the warm candidate failed certification.
+    rejected_fallbacks: int = 0
+    #: Block-diagonal batch solves issued, and problems covered by them.
+    batches: int = 0
+    batched_problems: int = 0
+
+    @property
+    def solves(self) -> int:
+        return self.warm + self.cold + self.structural_fallbacks + self.rejected_fallbacks
+
+    @property
+    def warm_rate(self) -> float:
+        return self.warm / self.solves if self.solves else 0.0
+
+
+@dataclass
+class _Entry:
+    """Everything retained per structural fingerprint.
+
+    ``compiled`` is a private deep copy (patching it must not reach the
+    model caches) that is delta-patched in place on every
+    shape-preserving re-solve, so diffs are always against the latest
+    data and stay small.
+    """
+
+    compiled: CompiledModel
+    #: Integer column -> value of the last cold optimum (the warm MILP
+    #: candidate); ``None`` when lowering columns hide integer values.
+    int_values: dict[int, float] | None = None
+    #: Simplex basis of the last pure-LP solve (basis-capable backends).
+    basis: tuple[int, ...] | None = None
+    #: Minimized-space gap ``objective - root_bound`` memoized at the
+    #: last cold MILP solve; widens the warm acceptance window.
+    gap_slack: float = 0.0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+@dataclass
+class _Warm:
+    """Snapshot of an entry's warm-start state, taken under its lock.
+
+    Solves run on the snapshot so concurrent problems sharing one entry
+    (a fleet batch) never contend or see each other's patches.
+    """
+
+    int_values: dict[int, float] | None
+    basis: tuple[int, ...] | None
+    gap_slack: float
+
+
+@dataclass
+class _Prepared:
+    """One problem, built and classified against the retained entry."""
+
+    problem: PlanningProblem
+    built: BuiltModel
+    compiled: CompiledModel
+    key: str
+    entry: _Entry | None
+    warm: _Warm | None  # set only when the diff was patchable
+    time_limit: float
+    #: A retained entry existed but the shape diverged — the solve is
+    #: then accounted as a structural fallback, not a plain cold.
+    structural_fallback: bool = False
+
+
+def _own_copy(compiled: CompiledModel) -> CompiledModel:
+    """A privately owned copy safe to patch in place.
+
+    ``Model.compile()`` hands out its cached object; retaining that and
+    patching it would corrupt every other holder (the exact-fingerprint
+    model cache re-solves the same ``BuiltModel`` on warm hits).
+    """
+    return CompiledModel(
+        num_vars=compiled.num_vars,
+        objective=dict(compiled.objective),
+        objective_offset=compiled.objective_offset,
+        rows=[dict(row) for row in compiled.rows],
+        row_lb=list(compiled.row_lb),
+        row_ub=list(compiled.row_ub),
+        var_lb=list(compiled.var_lb),
+        var_ub=list(compiled.var_ub),
+        integrality=list(compiled.integrality),
+        columns=list(compiled.columns),
+        negated=compiled.negated,
+    )
+
+
+class IncrementalSolver:
+    """Delta-aware solver keyed by structural problem fingerprints.
+
+    Duck-types ``Planner.plan`` via :meth:`solve` so front-ends can drop
+    it in wherever a cold solve used to happen.  Thread-safe: entry
+    locks are held only across diff/patch/snapshot, never across a
+    solve, so pool threads and batch members sharing a structure do not
+    serialize on each other.
+
+    ``metrics`` (assignable any time) is an
+    :class:`~repro.obs.registry.MetricsRegistry`; the solver bumps
+    ``incremental.warm`` / ``incremental.cold`` /
+    ``incremental.structural_fallback`` / ``incremental.rejected_fallback``
+    / ``incremental.batch`` counters on it.
+    """
+
+    def __init__(
+        self,
+        time_limit: float = 180.0,
+        mip_gap: float = 0.01,
+        backend: str = "auto",
+        capacity: int = 32,
+        gap_margin: float = 1.25,
+        strict: bool = False,
+        metrics=None,
+    ) -> None:
+        self.time_limit = time_limit
+        self.mip_gap = mip_gap
+        self.backend = backend
+        self.gap_margin = gap_margin
+        self.strict = strict
+        self.metrics = metrics
+        self.stats = IncrementalStats()
+        self._entries: LRUCache[_Entry] = LRUCache(capacity)
+        self._stats_lock = threading.Lock()
+
+    # -- public -----------------------------------------------------------
+
+    def solve(
+        self, problem: PlanningProblem, time_limit: float | None = None
+    ) -> ExecutionPlan:
+        """Solve one problem, warm when the retained structure allows."""
+        return self._solve_prepared(self._prepare(problem, time_limit))
+
+    def solve_many(
+        self, problems: list[PlanningProblem], time_limit: float | None = None
+    ) -> list[ExecutionPlan | PlanningError]:
+        """Solve a batch, certifying warm MILP candidates in one
+        block-diagonal LP solve.
+
+        Failures are returned in place (not raised) so one infeasible
+        deployment cannot sink a fleet-wide batch; callers re-raise per
+        problem when they deliver results.
+        """
+        prepared = [self._prepare(p, time_limit) for p in problems]
+        results: list[ExecutionPlan | PlanningError | None] = [None] * len(prepared)
+
+        # Gather the warm candidates: each contributes two LP blocks
+        # (candidate with pinned integers, fresh root relaxation bound).
+        batch: list[tuple[int, list[CompiledModel]]] = []
+        if self._use_scipy():
+            for i, prep in enumerate(prepared):
+                blocks = self._certification_blocks(prep)
+                if blocks is not None:
+                    batch.append((i, blocks))
+
+        if len(batch) >= 2:
+            with self._stats_lock:
+                self.stats.batches += 1
+                self.stats.batched_problems += len(batch)
+            self._bump("incremental.batch")
+            start = time.perf_counter()
+            solutions = scipy_backend.solve_blocks(
+                [block for _, blocks in batch for block in blocks],
+                self._limit(time_limit),
+                self.mip_gap,
+            )
+            per_problem = (time.perf_counter() - start) / len(batch)
+            for slot, (i, _) in enumerate(batch):
+                prep = prepared[i]
+                cand, bound = solutions[2 * slot], solutions[2 * slot + 1]
+                plan = self._accept(prep, cand, bound, per_problem)
+                if plan is not None:
+                    self._count("warm")
+                    results[i] = plan
+                elif (
+                    cand.status is SolveStatus.OPTIMAL
+                    and bound.status is SolveStatus.OPTIMAL
+                ):
+                    # A genuine gap rejection, not batching noise.
+                    self._count("rejected_fallback")
+                    try:
+                        results[i] = self._solve_cold(prep, counted=True)
+                    except PlanningError as exc:
+                        results[i] = exc
+                # else: one infeasible block taints the whole composite's
+                # status — leave unresolved so the solo pass below
+                # re-certifies this problem on its own.
+
+        for i, prep in enumerate(prepared):
+            if results[i] is not None:
+                continue
+            if prep.warm is None and prep.key in self._entries:
+                # A batch-mate with the same structure solved cold after
+                # this problem was prepared; re-prepare against the
+                # entry it seeded so this solve can go warm.
+                prep = self._prepare(prep.problem, time_limit)
+            try:
+                results[i] = self._solve_prepared(prep)
+            except PlanningError as exc:
+                results[i] = exc
+        return results
+
+    # -- preparation ------------------------------------------------------
+
+    def _limit(self, time_limit: float | None) -> float:
+        if time_limit is None:
+            return self.time_limit
+        return max(1e-3, min(self.time_limit, time_limit))
+
+    def _prepare(
+        self, problem: PlanningProblem, time_limit: float | None
+    ) -> _Prepared:
+        built = build_model(problem)
+        compiled = built.model.compile()
+        key = structural_fingerprint(problem)
+        entry = self._entries.get(key)
+        warm = None
+        structural_fallback = False
+        if entry is not None:
+            with entry.lock:
+                delta = diff_compiled(entry.compiled, compiled)
+                if delta is None:
+                    # Structural fingerprint collision or genuine shape
+                    # change under the same key: retire the stale entry.
+                    self._entries.remove(key)
+                    entry = None
+                    structural_fallback = True
+                else:
+                    delta.apply(entry.compiled)
+                    warm = _Warm(
+                        int_values=dict(entry.int_values)
+                        if entry.int_values is not None
+                        else None,
+                        basis=entry.basis,
+                        gap_slack=entry.gap_slack,
+                    )
+        return _Prepared(
+            problem=problem,
+            built=built,
+            compiled=compiled,
+            key=key,
+            entry=entry,
+            warm=warm,
+            time_limit=self._limit(time_limit),
+            structural_fallback=structural_fallback,
+        )
+
+    # -- warm path --------------------------------------------------------
+
+    def _use_scipy(self) -> bool:
+        return self.backend in ("auto", "scipy")
+
+    def _solve_prepared(self, prepared: _Prepared) -> ExecutionPlan:
+        if prepared.warm is not None:
+            plan = self._try_warm(prepared)
+            if plan is not None:
+                self._count("warm")
+                return plan
+            self._count("rejected_fallback")
+            return self._solve_cold(prepared, counted=True)
+        return self._solve_cold(prepared)
+
+    def _try_warm(self, prepared: _Prepared) -> ExecutionPlan | None:
+        """One-problem warm attempt on the fresh compiled matrix.
+
+        The fresh matrix is numerically identical to the patched
+        retained one (that is what ``diff_compiled`` certifies) and its
+        columns already reference the new model's variables, so solving
+        it directly needs no index remapping afterwards.
+        """
+        compiled = prepared.compiled
+        start = time.perf_counter()
+        if not any(compiled.integrality):
+            basis = prepared.warm.basis
+            if self._use_scipy():
+                solution = scipy_backend.solve(
+                    compiled, prepared.time_limit, self.mip_gap, start_basis=basis
+                )
+            else:
+                solution = simplex_backend.solve(
+                    compiled, prepared.time_limit, start_basis=basis
+                )
+            if solution.status is not SolveStatus.OPTIMAL:
+                return None
+            if prepared.entry is not None:
+                with prepared.entry.lock:
+                    prepared.entry.basis = solution.basis
+            return self._finish(prepared, solution.values, time.perf_counter() - start)
+
+        blocks = self._certification_blocks(prepared)
+        if blocks is None:
+            return None
+        if self._use_scipy():
+            cand, bound = scipy_backend.solve_blocks(
+                blocks, prepared.time_limit, self.mip_gap
+            )
+        else:
+            cand = simplex_backend.solve(blocks[0], prepared.time_limit)
+            bound = simplex_backend.solve(blocks[1], prepared.time_limit)
+        return self._accept(prepared, cand, bound, time.perf_counter() - start)
+
+    def _certification_blocks(
+        self, prepared: _Prepared
+    ) -> list[CompiledModel] | None:
+        """The [pinned-candidate, root-relaxation] LP pair, or ``None``
+        when there is nothing warm to certify."""
+        if prepared.warm is None or prepared.warm.int_values is None:
+            return None
+        compiled = prepared.compiled
+        if not any(compiled.integrality):
+            return None  # pure LPs take the basis path, not certification
+        pinned_lb = list(compiled.var_lb)
+        pinned_ub = list(compiled.var_ub)
+        for col, value in prepared.warm.int_values.items():
+            # The data change may have moved a bound past the previous
+            # assignment (capacity cut below the allocated nodes): the
+            # candidate is infeasible by inspection, go straight cold.
+            if not compiled.var_lb[col] - _EPS <= value <= compiled.var_ub[col] + _EPS:
+                return None
+            pinned_lb[col] = pinned_ub[col] = value
+        relaxed = [False] * compiled.num_vars
+        candidate = CompiledModel(
+            num_vars=compiled.num_vars,
+            objective=compiled.objective,
+            objective_offset=compiled.objective_offset,
+            rows=compiled.rows,
+            row_lb=compiled.row_lb,
+            row_ub=compiled.row_ub,
+            var_lb=pinned_lb,
+            var_ub=pinned_ub,
+            integrality=relaxed,
+            columns=compiled.columns,
+            negated=compiled.negated,
+        )
+        relaxation = CompiledModel(
+            num_vars=compiled.num_vars,
+            objective=compiled.objective,
+            objective_offset=compiled.objective_offset,
+            rows=compiled.rows,
+            row_lb=compiled.row_lb,
+            row_ub=compiled.row_ub,
+            var_lb=compiled.var_lb,
+            var_ub=compiled.var_ub,
+            integrality=relaxed,
+            columns=compiled.columns,
+            negated=compiled.negated,
+        )
+        return [candidate, relaxation]
+
+    def _accept(
+        self,
+        prepared: _Prepared,
+        cand: Solution,
+        bound: Solution,
+        seconds: float,
+    ) -> ExecutionPlan | None:
+        """Certify a pinned candidate against the fresh root bound."""
+        if cand.status is not SolveStatus.OPTIMAL:
+            return None
+        if bound.status is not SolveStatus.OPTIMAL:
+            return None
+        compiled = prepared.compiled
+        cand_min = self._minimized(compiled, cand.objective)
+        bound_min = self._minimized(compiled, bound.objective)
+        window = 1e-9 * max(1.0, abs(cand_min))
+        if not self.strict:
+            window = max(
+                self.mip_gap * abs(cand_min),
+                self.gap_margin * prepared.warm.gap_slack,
+                window,
+            )
+        if cand_min - bound_min > window + _EPS:
+            return None
+        # Snap the pinned columns back to exact integers (the LP solver
+        # returns them within feasibility tolerance of the pin).
+        values = dict(cand.values)
+        for col, pin in prepared.warm.int_values.items():
+            var = compiled.columns[col]
+            if var is not None:
+                values[var] = pin
+        return self._finish(prepared, values, seconds)
+
+    @staticmethod
+    def _minimized(compiled: CompiledModel, objective: float) -> float:
+        return -objective if compiled.negated else objective
+
+    def _finish(self, prepared: _Prepared, values: dict, seconds: float) -> ExecutionPlan:
+        """Assemble a Solution over the new model and extract the plan."""
+        built = prepared.built
+        solution = Solution(status=SolveStatus.OPTIMAL, backend="incremental")
+        solution.values = {
+            var: values.get(var, 0.0) for var in built.model.variables
+        }
+        solution.objective = built.model.objective.evaluate(solution.values)
+        solution.solve_seconds = seconds
+        return built.extract_plan(solution)
+
+    # -- cold path --------------------------------------------------------
+
+    def _solve_cold(
+        self, prepared: _Prepared, counted: bool = False
+    ) -> ExecutionPlan:
+        built = prepared.built
+        solution = built.model.solve(
+            backend=self.backend,
+            time_limit=prepared.time_limit,
+            mip_gap=self.mip_gap,
+        )
+        if not counted:
+            self._count(
+                "structural_fallback" if prepared.structural_fallback else "cold"
+            )
+        if not solution.status.has_solution:
+            raise PlanningError(
+                f"planning failed for {prepared.problem.job.name!r}: "
+                f"{solution.status.value} ({solution.message})",
+                status=solution.status.value,
+                budgeted=prepared.problem.goal.budget_usd is not None,
+            )
+        if solution.status is SolveStatus.OPTIMAL:
+            self._retain(prepared, solution)
+        return built.extract_plan(solution)
+
+    def _retain(self, prepared: _Prepared, solution: Solution) -> None:
+        """Memoize a fresh cold optimum as the next warm starting point."""
+        compiled = prepared.compiled
+        int_values: dict[int, float] | None = {}
+        for col, flag in enumerate(compiled.integrality):
+            if not flag:
+                continue
+            var = compiled.columns[col]
+            if var is None:
+                # A lowering column's value never reaches the Solution;
+                # without it the assignment cannot be pinned next time.
+                int_values = None
+                break
+            int_values[col] = float(round(solution.values.get(var, 0.0)))
+        gap_slack = 0.0
+        if int_values and not self.strict:
+            gap_slack = self._root_gap(compiled, solution, prepared.time_limit)
+        self._entries.put(
+            prepared.key,
+            _Entry(
+                compiled=_own_copy(compiled),
+                int_values=int_values,
+                basis=solution.basis,
+                gap_slack=gap_slack,
+            ),
+        )
+
+    def _root_gap(
+        self, compiled: CompiledModel, solution: Solution, time_limit: float
+    ) -> float:
+        """Minimized-space slack between the MIP optimum and its root
+        relaxation — the memo that widens warm acceptance."""
+        relaxation = CompiledModel(
+            num_vars=compiled.num_vars,
+            objective=compiled.objective,
+            objective_offset=compiled.objective_offset,
+            rows=compiled.rows,
+            row_lb=compiled.row_lb,
+            row_ub=compiled.row_ub,
+            var_lb=compiled.var_lb,
+            var_ub=compiled.var_ub,
+            integrality=[False] * compiled.num_vars,
+            columns=compiled.columns,
+            negated=compiled.negated,
+        )
+        if self._use_scipy():
+            root = scipy_backend.solve(relaxation, time_limit, self.mip_gap)
+        else:
+            root = simplex_backend.solve(relaxation, time_limit)
+        if root.status is not SolveStatus.OPTIMAL:
+            return 0.0
+        return max(
+            0.0,
+            self._minimized(compiled, solution.objective)
+            - self._minimized(compiled, root.objective),
+        )
+
+    # -- accounting -------------------------------------------------------
+
+    def _count(self, kind: str) -> None:
+        with self._stats_lock:
+            if kind == "warm":
+                self.stats.warm += 1
+            elif kind == "cold":
+                self.stats.cold += 1
+            elif kind == "structural_fallback":
+                self.stats.structural_fallbacks += 1
+            elif kind == "rejected_fallback":
+                self.stats.rejected_fallbacks += 1
+        self._bump(f"incremental.{kind}")
+
+    def _bump(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).increment()

@@ -80,6 +80,15 @@ class SolverPool:
     model_cache:
         Optional :class:`LRUCache` of warm ``BuiltModel`` objects, used
         by thread/inline workers when the submit carries a fingerprint.
+    incremental:
+        Optional :class:`~repro.service.incremental.IncrementalSolver`.
+        Thread/inline workers route their solves through it, so
+        structurally repeated problems restart warm from the retained
+        matrix.  (Process workers cannot share its in-memory state and
+        always solve cold.)
+    metrics:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` receiving
+        ``model_cache.hit`` / ``model_cache.miss`` counters.
     """
 
     def __init__(
@@ -90,6 +99,8 @@ class SolverPool:
         mip_gap: float = 0.01,
         backend: str = "auto",
         model_cache: LRUCache | None = None,
+        incremental=None,
+        metrics=None,
     ) -> None:
         if mode not in MODES:
             raise ValueError(f"unknown pool mode {mode!r}; pick one of {MODES}")
@@ -101,6 +112,8 @@ class SolverPool:
         self.mip_gap = mip_gap
         self.backend = backend
         self.model_cache = model_cache
+        self.incremental = incremental
+        self.metrics = metrics
         self._lock = threading.Lock()
         self._executor: concurrent.futures.Executor | None = None
 
@@ -163,12 +176,22 @@ class SolverPool:
         fingerprint: str | None,
         time_limit: float,
     ) -> ExecutionPlan:
-        """Thread/inline worker: reuse a warm BuiltModel when available."""
+        """Thread/inline worker: reuse warm solver state when available."""
+        if self.incremental is not None:
+            # The incremental solver subsumes the BuiltModel cache: it
+            # retains compiled matrices per structure and re-certifies
+            # the previous answer under the new data.
+            return self.incremental.solve(problem, time_limit)
         built: BuiltModel | None = None
         if self.model_cache is not None and fingerprint:
             built = self.model_cache.get(fingerprint)
+            self._bump("model_cache.miss" if built is None else "model_cache.hit")
         if built is None:
             built = build_model(problem)
             if self.model_cache is not None and fingerprint:
                 self.model_cache.put(fingerprint, built)
         return _solve_built(built, problem, time_limit, self.mip_gap, self.backend)
+
+    def _bump(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).increment()

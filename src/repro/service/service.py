@@ -60,6 +60,14 @@ class ServiceConfig:
     solver_time_limit_s: float = 180.0
     mip_gap: float = 0.01
     backend: str = "auto"
+    #: Route thread/inline solves through the delta-aware
+    #: :class:`~repro.service.incremental.IncrementalSolver`: requests
+    #: that are structurally identical to an earlier solve (same
+    #: horizon/services, different numbers) restart warm and may be
+    #: answered by re-certifying the previous plan within ``mip_gap``.
+    #: Off by default — the stock service answers every distinct request
+    #: with its own cold solve.
+    incremental: bool = False
 
 
 class PlanningService:
@@ -76,6 +84,16 @@ class PlanningService:
             self.config.cache_capacity
         )
         self.model_cache: LRUCache = LRUCache(self.config.model_cache_capacity)
+        self.incremental = None
+        if self.config.incremental:
+            from .incremental import IncrementalSolver
+
+            self.incremental = IncrementalSolver(
+                time_limit=self.config.solver_time_limit_s,
+                mip_gap=self.config.mip_gap,
+                backend=self.config.backend,
+                metrics=self.metrics.registry,
+            )
         self.pool = SolverPool(
             max_workers=self.config.max_workers,
             mode=self.config.pool_mode,
@@ -83,6 +101,8 @@ class PlanningService:
             mip_gap=self.config.mip_gap,
             backend=self.config.backend,
             model_cache=self.model_cache,
+            incremental=self.incremental,
+            metrics=self.metrics.registry,
         )
         self._slots = threading.Semaphore(self.pool.max_workers)
         self._inflight: dict[str, list[SubmittedRequest]] = {}

@@ -1,0 +1,253 @@
+"""The diffing layer: classify model changes as patchable data deltas or
+structural breaks, and warm-start the simplex from a retained basis."""
+
+import copy
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.lp import Model, SolveStatus, VarType
+from repro.lp.incremental import CompiledDelta, diff_compiled, structural_signature
+from repro.lp import scipy_backend, simplex_backend
+
+
+def small_lp(cost=(1.0, 2.0), rhs=10.0, ub=8.0):
+    m = Model()
+    x = m.add_var("x", ub=ub)
+    y = m.add_var("y", ub=ub)
+    m.add_constr(x + y >= rhs * 0.5)
+    m.add_constr(2 * x + y <= rhs)
+    m.minimize(cost[0] * x + cost[1] * y)
+    return m
+
+
+class TestDiffClassification:
+    def test_identical_models_diff_empty(self):
+        delta = diff_compiled(small_lp().compile(), small_lp().compile())
+        assert isinstance(delta, CompiledDelta)
+        assert delta.empty
+
+    def test_cost_change_is_a_patch(self):
+        delta = diff_compiled(
+            small_lp().compile(), small_lp(cost=(3.0, 2.0)).compile()
+        )
+        assert delta is not None and not delta.empty
+        assert delta.objective is not None
+        assert not delta.var_bounds and not delta.row_bounds and not delta.matrix
+
+    def test_rhs_change_is_a_patch(self):
+        delta = diff_compiled(small_lp().compile(), small_lp(rhs=12.0).compile())
+        assert delta is not None
+        assert delta.row_bounds
+        assert delta.objective is None
+
+    def test_bound_change_is_a_patch(self):
+        delta = diff_compiled(small_lp().compile(), small_lp(ub=6.0).compile())
+        assert delta is not None
+        assert delta.var_bounds
+
+    def test_coefficient_change_on_same_sparsity_is_a_patch(self):
+        def build(coef):
+            m = Model()
+            x = m.add_var("x", ub=4)
+            y = m.add_var("y", ub=4)
+            m.add_constr(coef * x + y <= 6)
+            m.minimize(-x - y)
+            return m.compile()
+
+        delta = diff_compiled(build(2.0), build(2.5))
+        assert delta is not None
+        assert delta.matrix == [(0, 0, 2.5)]
+
+    def test_new_constraint_is_structural(self):
+        a = small_lp()
+        b = small_lp()
+        xs = b.variables
+        b.add_constr(xs[0] - xs[1] <= 1)
+        assert diff_compiled(a.compile(), b.compile()) is None
+
+    def test_sparsity_change_is_structural(self):
+        def build(with_y):
+            m = Model()
+            x = m.add_var("x", ub=4)
+            y = m.add_var("y", ub=4)
+            expr = x + y if with_y else x
+            m.add_constr(expr <= 3)
+            m.minimize(-x - 0.1 * y)
+            return m.compile()
+
+        assert diff_compiled(build(True), build(False)) is None
+
+    def test_integrality_change_is_structural(self):
+        def build(vtype):
+            m = Model()
+            x = m.add_var("x", ub=4, vtype=vtype)
+            m.add_constr(x <= 3)
+            m.minimize(-x)
+            return m.compile()
+
+        assert diff_compiled(
+            build(VarType.CONTINUOUS), build(VarType.INTEGER)
+        ) is None
+
+    def test_renamed_column_is_structural(self):
+        def build(name):
+            m = Model()
+            x = m.add_var(name, ub=4)
+            m.add_constr(x <= 3)
+            m.minimize(-x)
+            return m.compile()
+
+        assert diff_compiled(build("x"), build("z")) is None
+
+    def test_bound_finiteness_flip_is_structural(self):
+        def build(ub):
+            m = Model()
+            x = m.add_var("x", ub=ub)
+            m.add_constr(x <= 3)
+            m.minimize(-x)
+            return m.compile()
+
+        assert diff_compiled(build(4.0), build(float("inf"))) is None
+
+
+class TestApply:
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            dict(cost=(5.0, 0.5)),
+            dict(rhs=14.0),
+            dict(ub=5.0),
+            dict(cost=(0.2, 9.0), rhs=7.0, ub=7.5),
+        ],
+    )
+    def test_patched_matrix_equals_fresh_compile(self, mutate):
+        old = copy.deepcopy(small_lp().compile())
+        new = small_lp(**mutate).compile()
+        delta = diff_compiled(old, new)
+        assert delta is not None
+        delta.apply(old)
+        assert old.objective == new.objective
+        assert old.objective_offset == new.objective_offset
+        assert old.rows == new.rows
+        assert old.row_lb == new.row_lb and old.row_ub == new.row_ub
+        assert old.var_lb == new.var_lb and old.var_ub == new.var_ub
+
+    def test_signature_shared_iff_patchable(self):
+        base = small_lp().compile()
+        assert structural_signature(base) == structural_signature(
+            small_lp(cost=(9.0, 1.0), rhs=20.0).compile()
+        )
+        extra = small_lp()
+        xs = extra.variables
+        extra.add_constr(xs[0] - xs[1] <= 1)
+        assert structural_signature(base) != structural_signature(extra.compile())
+
+
+class TestWarmSimplex:
+    def test_solution_carries_a_basis(self):
+        solution = simplex_backend.solve(small_lp().compile())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.basis is not None and len(solution.basis) > 0
+
+    def test_warm_restart_reproduces_the_optimum(self):
+        compiled = small_lp().compile()
+        cold = simplex_backend.solve(compiled)
+        warm = simplex_backend.solve(compiled, start_basis=cold.basis)
+        assert warm.status is SolveStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+
+    def test_warm_start_on_patched_data_matches_cold(self):
+        base = copy.deepcopy(small_lp().compile())
+        seed = simplex_backend.solve(base)
+        for mutate in (dict(cost=(4.0, 1.5)), dict(rhs=12.0), dict(ub=6.0)):
+            target = small_lp(**mutate).compile()
+            delta = diff_compiled(base, target)
+            delta.apply(base)
+            warm = simplex_backend.solve(base, start_basis=seed.basis)
+            cold = simplex_backend.solve(target)
+            assert warm.status is cold.status is SolveStatus.OPTIMAL
+            assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+
+    def test_stale_basis_repairs_through_phase_one(self):
+        # Tighten the bounds until the seed basis is primal-infeasible:
+        # the warm path must repair (or restart) and still find the optimum.
+        seed = simplex_backend.solve(small_lp().compile())
+        tight = small_lp(rhs=6.0, ub=2.5).compile()
+        warm = simplex_backend.solve(tight, start_basis=seed.basis)
+        cold = simplex_backend.solve(tight)
+        assert warm.status is cold.status is SolveStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+
+    def test_milp_accepts_a_root_basis(self):
+        m = Model()
+        xs = m.add_vars("x", 3, ub=3, vtype=VarType.INTEGER)
+        m.add_constr(2 * xs[0] + 3 * xs[1] + xs[2] <= 7)
+        m.maximize(3 * xs[0] + 4 * xs[1] + xs[2])
+        compiled = m.compile()
+        relaxed = copy.deepcopy(compiled)
+        relaxed.integrality = [False] * len(relaxed.integrality)
+        root = simplex_backend.solve(relaxed)
+        warm = simplex_backend.solve(compiled, start_basis=root.basis)
+        cold = simplex_backend.solve(compiled)
+        assert warm.status is SolveStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+
+
+def feasible(compiled, values_by_col, tol=1e-7):
+    for col in range(compiled.num_vars):
+        x = values_by_col.get(col, 0.0)
+        if not compiled.var_lb[col] - tol <= x <= compiled.var_ub[col] + tol:
+            return False
+    for r, row in enumerate(compiled.rows):
+        ax = sum(coef * values_by_col.get(col, 0.0) for col, coef in row.items())
+        if not compiled.row_lb[r] - tol <= ax <= compiled.row_ub[r] + tol:
+            return False
+    return True
+
+
+data = st.tuples(
+    st.floats(min_value=0.1, max_value=5.0),   # cost x
+    st.floats(min_value=0.1, max_value=5.0),   # cost y
+    st.floats(min_value=4.0, max_value=20.0),  # rhs
+    st.floats(min_value=3.0, max_value=10.0),  # ub
+)
+
+
+class TestWarmColdAgreementProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(base=data, perturbed=data)
+    def test_patched_warm_solve_agrees_with_cold_on_both_backends(
+        self, base, perturbed
+    ):
+        # Keep both programs feasible: y = rhs/2 (x = 0) must fit in ub.
+        assume(base[2] <= 2.0 * base[3])
+        assume(perturbed[2] <= 2.0 * perturbed[3])
+        old = copy.deepcopy(small_lp(cost=base[:2], rhs=base[2], ub=base[3]).compile())
+        seed = simplex_backend.solve(old)
+        assert seed.status is SolveStatus.OPTIMAL
+
+        target_model = small_lp(
+            cost=perturbed[:2], rhs=perturbed[2], ub=perturbed[3]
+        )
+        target = target_model.compile()
+        delta = diff_compiled(old, target)
+        assert delta is not None  # same family -> always a pure-data patch
+        delta.apply(old)
+
+        warm = simplex_backend.solve(old, start_basis=seed.basis)
+        cold_simplex = simplex_backend.solve(target)
+        cold_scipy = scipy_backend.solve(target, 30.0)
+
+        assert warm.status is cold_simplex.status is cold_scipy.status
+        if warm.status is SolveStatus.OPTIMAL:
+            scale = max(1.0, abs(cold_simplex.objective))
+            assert abs(warm.objective - cold_simplex.objective) <= 1e-9 * scale
+            assert abs(warm.objective - cold_scipy.objective) <= 1e-7 * scale
+            by_col = {
+                col: warm.values[var]
+                for col, var in enumerate(old.columns)
+                if var is not None and var in warm.values
+            }
+            assert feasible(old, by_col)

@@ -1,0 +1,233 @@
+"""IncrementalSolver: warm re-solves, fallback accounting, batching, and
+the isolation of its retained matrices from the shared model caches."""
+
+import pytest
+
+from repro.core import Goal, NetworkConditions, PlannerJob, PlanningProblem
+from repro.core.model_builder import PlanningError, build_model
+from repro.core.planner import Planner
+from repro.cloud import public_cloud
+from repro.obs.registry import MetricsRegistry
+from repro.service import IncrementalSolver, LRUCache, structural_fingerprint
+from repro.service.incremental import _own_copy
+from repro.service.pool import SolverPool
+
+
+def make_problem(input_gb=4.0, deadline=3.0, uplink=16.0) -> PlanningProblem:
+    return PlanningProblem(
+        job=PlannerJob(name="job", input_gb=input_gb),
+        services=public_cloud(),
+        network=NetworkConditions.from_mbit_s(uplink),
+        goal=Goal.min_cost(deadline_hours=deadline),
+    )
+
+
+def drift_series(n=4):
+    """Same structure, small data drift — the replan hot path."""
+    return [make_problem(uplink=16.0 + 0.1 * ((k % 3) - 1)) for k in range(n)]
+
+
+class TestWarmEquality:
+    def test_warm_resolves_match_cold_within_solver_tolerance(self):
+        solver = IncrementalSolver()
+        cold = Planner()
+        solver.solve(make_problem())
+        for problem in drift_series():
+            warm_plan = solver.solve(problem)
+            cold_plan = cold.plan(problem)
+            assert warm_plan.solver_status == "optimal"
+            assert warm_plan.objective_value == pytest.approx(
+                cold_plan.objective_value, rel=0.01, abs=1e-6
+            )
+        assert solver.stats.warm >= 2
+
+    def test_repeat_solve_of_identical_problem_is_warm_and_exact(self):
+        solver = IncrementalSolver()
+        first = solver.solve(make_problem())
+        again = solver.solve(make_problem())
+        assert solver.stats.warm == 1
+        assert again.objective_value == pytest.approx(
+            first.objective_value, rel=1e-6
+        )
+
+    def test_infeasible_problem_raises_planning_error(self):
+        solver = IncrementalSolver()
+        with pytest.raises(PlanningError):
+            solver.solve(make_problem(input_gb=500.0, deadline=1.0, uplink=1.0))
+
+
+class TestAccounting:
+    def test_every_solve_lands_in_exactly_one_bucket(self):
+        solver = IncrementalSolver()
+        solver.solve(make_problem())  # cold
+        solver.solve(make_problem())  # warm
+        solver.solve(make_problem(deadline=4.0))  # new structure: cold
+        stats = solver.stats
+        assert stats.solves == 3
+        assert stats.cold == 2 and stats.warm == 1
+        assert stats.warm_rate == pytest.approx(1 / 3)
+
+    def test_different_horizons_do_not_share_structure(self):
+        assert structural_fingerprint(make_problem(deadline=3.0)) != (
+            structural_fingerprint(make_problem(deadline=4.0))
+        )
+        assert structural_fingerprint(make_problem(uplink=12.0)) == (
+            structural_fingerprint(make_problem(uplink=20.0))
+        )
+
+    def test_shape_change_under_a_retained_key_counts_structural(self):
+        solver = IncrementalSolver()
+        problem = make_problem()
+        solver.solve(problem)
+        # Corrupt the retained matrix's shape so the next diff under the
+        # same key cannot classify the change as pure data.
+        key = structural_fingerprint(problem)
+        entry = solver._entries.get(key)
+        entry.compiled.rows.append({0: 1.0})
+        entry.compiled.row_lb.append(0.0)
+        entry.compiled.row_ub.append(1.0)
+        plan = solver.solve(make_problem())
+        assert plan.solver_status == "optimal"
+        assert solver.stats.structural_fallbacks == 1
+        # The stale entry was retired and re-seeded: next solve is warm.
+        solver.solve(make_problem())
+        assert solver.stats.warm == 1
+
+    def test_metrics_counters_flow_into_the_registry(self):
+        registry = MetricsRegistry()
+        solver = IncrementalSolver(metrics=registry)
+        solver.solve(make_problem())
+        solver.solve(make_problem())
+        snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["incremental.cold"] == 1
+        assert counters["incremental.warm"] == 1
+
+
+class TestBatching:
+    def test_solve_many_batches_same_structure_problems(self):
+        solver = IncrementalSolver()
+        solver.solve(make_problem())  # seed the structure
+        results = solver.solve_many(drift_series(4))
+        assert all(not isinstance(r, PlanningError) for r in results)
+        assert solver.stats.batches == 1
+        assert solver.stats.batched_problems == 4
+        cold = Planner()
+        for problem, result in zip(drift_series(4), results):
+            assert result.objective_value == pytest.approx(
+                cold.plan(problem).objective_value, rel=0.01, abs=1e-6
+            )
+
+    def test_unseeded_batch_seeds_itself_then_goes_warm(self):
+        solver = IncrementalSolver()
+        results = solver.solve_many(drift_series(3))
+        assert all(not isinstance(r, PlanningError) for r in results)
+        # The first member solved cold and seeded the structure; the
+        # re-prepare pass lets its batch-mates restart warm off it.
+        assert solver.stats.cold == 1
+        assert solver.stats.warm >= 1
+
+    def test_batch_returns_errors_in_place(self):
+        solver = IncrementalSolver()
+        bad = make_problem(input_gb=500.0, deadline=1.0, uplink=1.0)
+        results = solver.solve_many([make_problem(), bad])
+        assert not isinstance(results[0], PlanningError)
+        assert isinstance(results[1], PlanningError)
+
+
+class TestRetainedMatrixIsolation:
+    def test_own_copy_shares_no_mutable_state(self):
+        compiled = build_model(make_problem()).model.compile()
+        copied = _own_copy(compiled)
+        copied.objective[0] = 123.0
+        copied.rows[0][0] = 456.0
+        copied.row_lb[0] = -789.0
+        copied.var_ub[0] = 0.5
+        assert compiled.objective.get(0) != 123.0
+        assert compiled.rows[0].get(0) != 456.0
+        assert compiled.row_lb[0] != -789.0
+        assert compiled.var_ub[0] != 0.5
+
+    def test_entry_patching_never_reaches_the_models_compile_cache(self):
+        solver = IncrementalSolver()
+        problem = make_problem()
+        solver.solve(problem)
+        key = structural_fingerprint(problem)
+        before = _own_copy(solver._entries.get(key).compiled)
+        # A drifted re-solve patches the retained matrix in place ...
+        solver.solve(make_problem(uplink=17.0))
+        after = solver._entries.get(key).compiled
+        assert after.rows == before.rows  # sparsity untouched
+        # ... and a fresh compile of the original problem still carries
+        # the original data, proving the retained copy was private.
+        fresh = build_model(make_problem()).model.compile()
+        assert fresh.row_lb == before.row_lb
+        assert fresh.row_ub == before.row_ub
+
+
+class TestPoolWarmPathConsistency:
+    """Satellite regression: a cached BuiltModel mutated in place must be
+    recompiled before the warm path re-solves it."""
+
+    def test_mutated_cached_model_is_revalidated_on_warm_solve(self):
+        cache = LRUCache(8)
+        pool = SolverPool(mode="inline", model_cache=cache)
+        problem = make_problem()
+        plan1 = pool.submit(problem, fingerprint="fp").result(timeout=120.0)
+        built = cache.get("fp")
+        assert built is not None
+
+        # Mutate the cached model the way deviation learning does: tighten
+        # a node-count bound below what the first plan used, in place.
+        compute, peak = max(
+            ((s.name, plan1.peak_nodes(s.name))
+             for s in problem.services if s.can_compute),
+            key=lambda pair: pair[1],
+        )
+        assert peak >= 1
+        capped = peak - 1
+        for var in built.model.variables:
+            if var.name.startswith(f"nodes[{compute},"):
+                var.ub = float(capped)
+
+        plan2 = pool.submit(problem, fingerprint="fp").result(timeout=120.0)
+        # The warm path must honor the tightened bound (stale compiled
+        # matrices used to leak the old capacity through).
+        assert plan2.peak_nodes(compute) <= capped
+
+    def test_incremental_pool_routes_through_the_solver(self):
+        solver = IncrementalSolver()
+        pool = SolverPool(mode="inline", incremental=solver)
+        problem = make_problem()
+        pool.submit(problem, fingerprint="fp").result(timeout=120.0)
+        pool.submit(problem, fingerprint="fp").result(timeout=120.0)
+        assert solver.stats.solves == 2
+        assert solver.stats.warm == 1
+
+
+class TestServiceIntegration:
+    def test_incremental_service_reports_reuse_counters(self):
+        from repro.service import PlanningService, ServiceConfig
+
+        config = ServiceConfig(pool_mode="inline", max_workers=1, incremental=True)
+        with PlanningService(config) as service:
+            service.submit(make_problem()).result(timeout=120.0)
+            service.submit(make_problem(uplink=16.2)).result(timeout=120.0)
+            snapshot = service.metrics.registry.snapshot()
+        counters = snapshot["counters"]
+        # Distinct fingerprints miss the exact plan cache but share a
+        # structure, so the second solve restarts warm — and both rates
+        # are visible to `repro serve --metrics-json`.
+        assert counters.get("incremental.cold", 0) == 1
+        assert counters.get("incremental.warm", 0) == 1
+
+    def test_stock_service_keeps_cold_semantics(self):
+        from repro.service import PlanningService, ServiceConfig
+
+        config = ServiceConfig(pool_mode="inline", max_workers=1)
+        with PlanningService(config) as service:
+            assert service.incremental is None
+            result = service.submit(make_problem()).result(timeout=120.0)
+            assert result.ok
+            snapshot = service.metrics.registry.snapshot()
+        assert "incremental.cold" not in snapshot["counters"]

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: read a ``--bench-json`` report and enforce floors.
+
+The benchmark conftest writes one JSON record per benchmark (wall
+seconds plus any metrics the bench reported through ``bench_metrics``).
+This script is the CI side of that contract: it fails when
+
+1. any recorded benchmark did not pass, or
+2. any ``warm_speedup`` metric falls below ``--min-warm-speedup``
+   (default 3x) — the incremental re-solve hot path must stay
+   meaningfully faster than cold solving, or
+3. no ``warm_speedup`` metric exists at all (the gate silently
+   checking nothing is itself a failure).
+
+Usage::
+
+    python tools/check_perf.py bench.json --min-warm-speedup 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path, help="JSON from --bench-json")
+    parser.add_argument(
+        "--min-warm-speedup",
+        type=float,
+        default=3.0,
+        help="floor for every reported warm_speedup metric (default: 3)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = json.loads(args.report.read_text(encoding="utf-8"))
+    problems: list[str] = []
+    speedups: list[tuple[str, float]] = []
+
+    for bench in payload.get("benchmarks", []):
+        name = bench.get("name", "<unnamed>")
+        outcome = bench.get("outcome")
+        if outcome not in (None, "passed"):
+            problems.append(f"{name}: outcome {outcome!r}")
+        speedup = bench.get("metrics", {}).get("warm_speedup")
+        if speedup is not None:
+            speedups.append((name, float(speedup)))
+
+    if not speedups:
+        problems.append("no benchmark reported a warm_speedup metric")
+    for name, speedup in speedups:
+        status = "ok" if speedup >= args.min_warm_speedup else "TOO SLOW"
+        print(f"{name}: warm_speedup {speedup:.2f}x "
+              f"(floor {args.min_warm_speedup:.1f}x) {status}")
+        if speedup < args.min_warm_speedup:
+            problems.append(
+                f"{name}: warm_speedup {speedup:.2f}x "
+                f"< {args.min_warm_speedup:.1f}x"
+            )
+
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -492,22 +492,35 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--incremental", action="store_true",
                         help="warm-start structurally repeated solves "
                         "(thread/inline pools; see docs/solver.md)")
+    parser.add_argument("--max-pending-total", type=int, default=256,
+                        help="admission bound on queued requests "
+                        "(per shard with --listen)")
+    parser.add_argument("--max-pending-per-tenant", type=int, default=64,
+                        help="admission bound on one tenant's queued requests")
     parser.add_argument("--metrics-json", metavar="PATH",
                         help="write the unified telemetry snapshot "
                         "(obs registry format)")
 
 
-def _orchestrator_for(args):
-    from .api import Orchestrator
+def _service_config_for(args, **overrides):
     from .service import ServiceConfig
 
-    return Orchestrator(service_config=ServiceConfig(
+    return ServiceConfig(
         max_workers=args.workers,
         pool_mode=args.pool,
         cache_capacity=args.cache_capacity,
         solver_time_limit_s=args.time_limit,
         incremental=getattr(args, "incremental", False),
-    ))
+        max_pending_total=getattr(args, "max_pending_total", 256),
+        max_pending_per_tenant=getattr(args, "max_pending_per_tenant", 64),
+        **overrides,
+    )
+
+
+def _orchestrator_for(args):
+    from .api import Orchestrator
+
+    return Orchestrator(service_config=_service_config_for(args))
 
 
 def cmd_serve(args) -> int:
@@ -525,6 +538,11 @@ def cmd_serve(args) -> int:
 
         {"schema_version": 1, "kind": "plan_request", "tenant": "acme",
          "job": {"input_gb": 16, "goal": {"deadline_hours": 6}}}
+
+    With ``--listen HOST:PORT`` the same dialect is served over TCP by
+    the asyncio sharded frontend instead (``--shards`` broker shards,
+    strict per-tenant FIFO, deadline-aware shedding); the stream path
+    below is untouched.
     """
     from .api import (
         ErrorV1,
@@ -537,6 +555,9 @@ def cmd_serve(args) -> int:
         encode,
     )
 
+    if getattr(args, "listen", None):
+        return _cmd_serve_listen(args)
+
     if args.requests_file:
         try:
             handle = open(args.requests_file, encoding="utf-8")
@@ -545,85 +566,137 @@ def cmd_serve(args) -> int:
             return 1
     else:
         handle = sys.stdin
+    from collections import deque
+
     orchestrator = _orchestrator_for(args)
     exit_code = 0
-    print(encode(HelloV1(version=package_version())))
-    with orchestrator:
-        entries = []
+    #: Admitted requests whose response has not been printed yet, in
+    #: submission order (responses always come out in that order).
+    entries: deque = deque()
+
+    def emit(request, ticket, timeout) -> None:
+        nonlocal exit_code
         try:
-            for lineno, line in enumerate(handle, 1):
-                line = line.strip()
-                if not line or line.startswith("#"):
-                    continue
-                try:
-                    request = decode(line)
-                except SchemaError as exc:
-                    print(encode(ErrorV1(
-                        code="bad_schema",
-                        message=str(exc),
-                        details={"line": str(lineno)},
-                    )))
-                    exit_code = 1
-                    continue
-                if not isinstance(request, PlanRequestV1):
-                    print(encode(ErrorV1(
-                        code="bad_schema",
-                        message=f"expected kind 'plan_request', "
-                        f"got {request.KIND!r}",
-                        details={"line": str(lineno)},
-                    )))
-                    exit_code = 1
-                    continue
-                try:
-                    # A batch stream applies backpressure on a full
-                    # backlog rather than dropping the tail.
-                    entries.append(
-                        (request, orchestrator.submit(request, block=True))
-                    )
-                except OrchestratorError as exc:
-                    # Keep stdout line-parseable: rejections get a
-                    # response record too, not just a stderr note.
-                    print(encode(PlanResponseV1(
-                        status="rejected",
-                        tenant=request.tenant,
-                        request_id=request.request_id,
-                        error=exc.error,
-                    )))
-                    exit_code = 1
-        finally:
-            if handle is not sys.stdin:
-                handle.close()
-        # A ticket's turnaround includes time queued behind every other
-        # admitted request, so the wait bound covers the whole stream,
-        # not one solve.
-        stream_timeout = args.time_limit * max(1, len(entries)) + 60.0
-        for request, ticket in entries:
+            result = ticket.result(timeout=timeout)
+        except TimeoutError as exc:
+            # Keep reporting the rest: their solves may have finished.
+            print(encode(PlanResponseV1(
+                status="failed",
+                tenant=request.tenant,
+                request_id=request.request_id,
+                error=ErrorV1(code="timeout", message=str(exc)),
+            )), flush=True)
+            exit_code = 1
+            return
+        if not result.ok:
+            # A scripted caller must see failed/expired streams in the
+            # exit code, not just in the per-line status field.
+            exit_code = 1
+        print(encode(
+            orchestrator.respond(result, request_id=request.request_id)
+        ), flush=True)
+
+    try:
+        # Every response line is flushed as it is printed, so a consumer
+        # piping from a live stream sees results as they land instead of
+        # at EOF.
+        print(encode(HelloV1(version=package_version())), flush=True)
+        with orchestrator:
             try:
-                result = ticket.result(timeout=stream_timeout)
-            except TimeoutError as exc:
-                # Keep reporting the rest: their solves may have finished.
-                print(encode(PlanResponseV1(
-                    status="failed",
-                    tenant=request.tenant,
-                    request_id=request.request_id,
-                    error=ErrorV1(code="timeout", message=str(exc)),
-                )))
-                exit_code = 1
-                continue
-            if not result.ok:
-                # A scripted caller must see failed/expired streams in the
-                # exit code, not just in the per-line status field.
-                exit_code = 1
-            print(encode(
-                orchestrator.respond(result, request_id=request.request_id)
-            ))
+                for lineno, line in enumerate(handle, 1):
+                    line = line.strip()
+                    if not line or line.startswith("#"):
+                        continue
+                    try:
+                        request = decode(line)
+                    except SchemaError as exc:
+                        print(encode(ErrorV1(
+                            code="bad_schema",
+                            message=str(exc),
+                            details={"line": str(lineno)},
+                        )), flush=True)
+                        exit_code = 1
+                        continue
+                    if not isinstance(request, PlanRequestV1):
+                        print(encode(ErrorV1(
+                            code="bad_schema",
+                            message=f"expected kind 'plan_request', "
+                            f"got {request.KIND!r}",
+                            details={"line": str(lineno)},
+                        )), flush=True)
+                        exit_code = 1
+                        continue
+                    try:
+                        # A batch stream applies backpressure on a full
+                        # backlog rather than dropping the tail.
+                        entries.append(
+                            (request, orchestrator.submit(request, block=True))
+                        )
+                    except OrchestratorError as exc:
+                        # Keep stdout line-parseable: rejections get a
+                        # response record too, not just a stderr note.
+                        print(encode(PlanResponseV1(
+                            status="rejected",
+                            tenant=request.tenant,
+                            request_id=request.request_id,
+                            error=exc.error,
+                        )), flush=True)
+                        exit_code = 1
+                        continue
+                    # Drain whatever has already finished at the head of
+                    # the line, preserving submission order.
+                    while entries and entries[0][1].done():
+                        head, ticket = entries.popleft()
+                        emit(head, ticket, timeout=0.1)
+            finally:
+                if handle is not sys.stdin:
+                    handle.close()
+            # A ticket's turnaround includes time queued behind every
+            # other admitted request, so the wait bound covers the whole
+            # stream, not one solve.
+            stream_timeout = args.time_limit * max(1, len(entries)) + 60.0
+            while entries:
+                request, ticket = entries.popleft()
+                emit(request, ticket, timeout=stream_timeout)
+            print(orchestrator.service.metrics.describe(), file=sys.stderr)
+            if args.metrics_json:
+                _write_metrics_json(
+                    args.metrics_json,
+                    orchestrator.service.metrics.registry.snapshot(),
+                )
+    except BrokenPipeError:
+        # The consumer hung up mid-stream.  Stdout is useless now, but
+        # the operator still gets the metrics summary on stderr.
         print(orchestrator.service.metrics.describe(), file=sys.stderr)
-        if args.metrics_json:
-            _write_metrics_json(
-                args.metrics_json,
-                orchestrator.service.metrics.registry.snapshot(),
-            )
+        return 1
+    except KeyboardInterrupt:
+        print(orchestrator.service.metrics.describe(), file=sys.stderr)
+        return 130
     return exit_code
+
+
+def _cmd_serve_listen(args) -> int:
+    """``repro serve --listen``: the asyncio sharded socket frontend."""
+    from .service.frontend import FrontendConfig, run_server
+    from .service.frontend.client import parse_address
+
+    try:
+        host, port = parse_address(args.listen)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
+    return run_server(
+        FrontendConfig(host=host, port=port, shards=args.shards),
+        # The socket frontend opts into strict per-tenant FIFO (cache
+        # hits queue like misses) and deadline-aware shedding.
+        _service_config_for(
+            args, ordered_admission=True, deadline_shedding=True
+        ),
+        metrics_json=args.metrics_json,
+    )
 
 
 def cmd_submit(args) -> int:
@@ -686,11 +759,54 @@ def cmd_submit(args) -> int:
     return 0
 
 
+def _cmd_loadgen_connect(args) -> int:
+    """``repro loadgen --connect``: drive a socket frontend with N
+    concurrent tenant connections and report client-observed latency."""
+    import asyncio
+
+    from .service.frontend import generate_wire_workload, run_loadgen
+    from .service.frontend.client import parse_address
+
+    addresses = [part for part in args.connect.split(",") if part]
+    try:
+        for address in addresses:
+            parse_address(address)
+        workload = generate_wire_workload(
+            args.tenants,
+            args.requests_per_tenant,
+            seed=args.seed,
+            distinct=args.distinct,
+            deadline_s=args.deadline_s,
+        )
+    except ValueError as exc:
+        print(f"bad loadgen arguments: {exc}", file=sys.stderr)
+        return 2
+    report = asyncio.run(run_loadgen(
+        addresses,
+        workload,
+        connect_concurrency=args.connect_concurrency,
+        response_timeout_s=args.response_timeout,
+    ))
+    print(report.describe())
+    if args.metrics_json:
+        _write_metrics_json(args.metrics_json, report.snapshot())
+    # Success means *accountability*, not zero shedding: every request
+    # either completed or came back as a structured error response.
+    ok = (
+        report.connect_failures == 0
+        and report.lost == 0
+        and report.answered == report.sent
+    )
+    return 0 if ok else 1
+
+
 def cmd_loadgen(args) -> int:
     import time as _time
 
     from .service import generate_workload, run_workload
 
+    if getattr(args, "connect", None):
+        return _cmd_loadgen_connect(args)
     try:
         requests = generate_workload(
             tenants=args.tenants, requests=args.requests, seed=args.seed
@@ -856,6 +972,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--requests-file",
                        help="JSON-lines request file (default: stdin)")
+    serve.add_argument("--listen", metavar="HOST:PORT",
+                       help="serve the same dialect over TCP with the "
+                       "asyncio sharded frontend (port 0 = OS-assigned)")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="broker shards behind --listen (default: 4)")
     _add_service_arguments(serve)
     serve.set_defaults(handler=cmd_serve)
 
@@ -879,6 +1000,26 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--tenants", type=int, default=8)
     loadgen.add_argument("--requests", type=int, default=64)
     loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--connect", metavar="ADDR[,ADDR...]",
+                         help="drive running socket frontend(s) with one "
+                         "concurrent connection per tenant instead of an "
+                         "in-process service; tenants route to addresses "
+                         "by the stable shard hash")
+    loadgen.add_argument("--requests-per-tenant", type=int, default=1,
+                         help="pipelined requests per tenant connection "
+                         "(--connect mode)")
+    loadgen.add_argument("--distinct", type=int, default=8,
+                         help="distinct job specs in the wire workload "
+                         "(--connect mode; small = cache-heavy)")
+    loadgen.add_argument("--deadline-s", type=float, default=None,
+                         help="per-request turnaround SLO in seconds "
+                         "(--connect mode)")
+    loadgen.add_argument("--connect-concurrency", type=int, default=512,
+                         help="simultaneous connection attempts while "
+                         "ramping up (--connect mode)")
+    loadgen.add_argument("--response-timeout", type=float, default=120.0,
+                         help="per-connection wait for outstanding "
+                         "responses in seconds (--connect mode)")
     _add_service_arguments(loadgen)
     loadgen.set_defaults(handler=cmd_loadgen)
     return parser

@@ -40,6 +40,7 @@ _EXPORTS = {
     "Gauge": "registry",
     "LatencySeries": "registry",
     "MetricsRegistry": "registry",
+    "labeled": "registry",
     "percentile": "registry",
     "DETERMINISTIC_KINDS": "records",
     "RECORD_KINDS": "records",

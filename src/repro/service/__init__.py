@@ -17,11 +17,15 @@ problems to; this package makes the reproduction act like one:
 - :class:`ServiceMetrics` — request counters and latency percentiles
   (:mod:`repro.service.metrics`);
 - :func:`generate_workload` — synthetic tenant traffic
-  (:mod:`repro.service.workload`).
+  (:mod:`repro.service.workload`);
+- :mod:`repro.service.frontend` — the asyncio socket frontend: tenant-
+  sharded brokers behind one TCP endpoint, the shared
+  :class:`SharedPlanCache` L2, and the concurrent-connection load
+  generator (imported explicitly; it pulls in the api layer).
 """
 
 from .broker import AdmissionError, RequestBroker
-from .cache import CacheStats, LRUCache
+from .cache import CacheStats, LRUCache, SharedPlanCache
 from .fingerprint import (
     canonical_payload,
     problem_fingerprint,
@@ -66,6 +70,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceMetrics",
     "SessionManager",
+    "SharedPlanCache",
     "SolverPool",
     "SubmittedRequest",
     "canonical_payload",

@@ -34,8 +34,19 @@ def canonical_payload(problem: PlanningProblem) -> bytes:
 
 
 def problem_fingerprint(problem: PlanningProblem) -> str:
-    """Hex SHA-256 fingerprint of a planning problem."""
-    return hashlib.sha256(canonical_payload(problem)).hexdigest()
+    """Hex SHA-256 fingerprint of a planning problem.
+
+    Memoized on the instance: problems are immutable once built (the
+    codebase derives variants with :func:`dataclasses.replace`, which
+    produces a fresh object and therefore a fresh memo), and admission
+    fingerprints the same problem object on every enqueue — the hottest
+    line of the frontend's submit path.
+    """
+    cached = problem.__dict__.get("_exact_fingerprint")
+    if cached is None:
+        cached = hashlib.sha256(canonical_payload(problem)).hexdigest()
+        problem.__dict__["_exact_fingerprint"] = cached
+    return cached
 
 
 def structural_payload(problem: PlanningProblem) -> tuple:

@@ -1,0 +1,345 @@
+"""The asyncio socket frontend of the planning service.
+
+One event loop, many connections, N broker shards.  The wire dialect is
+*exactly* the one ``repro serve`` speaks over stdin/stdout — a versioned
+``hello`` line first, then ``plan_request`` JSON lines in and
+``plan_response`` / ``error`` lines out — so any client of the stream
+protocol works unchanged over TCP.  Responses are per-connection and
+arrive in completion order (the ``request_id`` correlates them);
+per-tenant processing order is the service's strict per-tenant FIFO.
+
+Flow control, all bounded:
+
+- **admission** — each broker shard's queue bounds apply; a refused
+  request is answered immediately with a structured ``rejected``
+  response (never a dropped line);
+- **deadline shedding** — requests whose turnaround deadline the
+  shard's rolling queue-wait estimate cannot meet are shed at admission
+  (also ``rejected``) instead of expiring uselessly in queue;
+- **slow clients** — responses leave through a bounded per-connection
+  send queue drained by a writer task under TCP backpressure
+  (``drain()``); a client that stops reading until its queue fills is
+  disconnected rather than buffered without bound;
+- **disconnects** — a closed connection cooperatively cancels its
+  still-queued requests, so abandoned work never reaches the solver.
+
+Completions happen on service worker threads; they hop onto the event
+loop via ``call_soon_threadsafe`` and are encoded/enqueued there.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import sys
+from dataclasses import dataclass
+
+from ...api import (
+    ErrorV1,
+    HelloV1,
+    OrchestratorError,
+    PlanRequestV1,
+    PlanResponseV1,
+    SchemaError,
+    decode,
+    encode,
+)
+from ...api.orchestrator import Orchestrator
+from ...obs.registry import MetricsRegistry
+from ..metrics import ServiceMetrics
+from ..service import ServiceConfig
+from .sharding import ShardedPlanningService
+
+__all__ = ["FrontendConfig", "FrontendServer", "run_server"]
+
+
+@dataclass
+class FrontendConfig:
+    """Socket-level knobs of the frontend (service knobs live in
+    :class:`~repro.service.service.ServiceConfig`)."""
+
+    host: str = "127.0.0.1"
+    #: 0 lets the OS pick (the bound port is in :attr:`FrontendServer.address`).
+    port: int = 0
+    #: Broker shards (each a full PlanningService; see ``sharding``).
+    shards: int = 4
+    #: Reader line limit; an overlong line is a ``bad_schema`` error.
+    max_line_bytes: int = 1 << 20
+    #: Bounded per-connection send queue (responses); a client that lets
+    #: it fill is disconnected as a slow consumer.
+    send_queue_limit: int = 1024
+    #: Listen backlog.  Connection storms (the loadgen opens thousands
+    #: of sockets at once) overflow the kernel's default SYN queue,
+    #: leaving clients stuck in multi-second TCP retransmit.
+    backlog: int = 4096
+
+
+class FrontendServer:
+    """Serves the JSON-lines planning dialect over TCP.
+
+    Owns nothing it is not given: the caller supplies the service
+    (usually a :class:`ShardedPlanningService`) and remains responsible
+    for stopping it; :func:`run_server` is the assembled entry point the
+    CLI uses.
+    """
+
+    def __init__(
+        self,
+        service: ShardedPlanningService,
+        config: FrontendConfig | None = None,
+    ) -> None:
+        self.service = service
+        self.config = config or FrontendConfig()
+        self.orchestrator = Orchestrator(service=service)
+        #: Socket-layer counters, merged into the service snapshot by
+        #: :meth:`merged_metrics`.
+        self.registry = MetricsRegistry()
+        for name in (
+            "frontend.connections",
+            "frontend.disconnects",
+            "frontend.requests",
+            "frontend.responses",
+            "frontend.bad_lines",
+            "frontend.shed",
+            "frontend.slow_client_disconnects",
+            "frontend.cancelled_on_disconnect",
+        ):
+            self.registry.counter(name)
+        self._server: asyncio.base_events.Server | None = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> "FrontendServer":
+        self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=self.config.max_line_bytes,
+            backlog=self.config.backlog,
+        )
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually-bound (host, port)."""
+        assert self._server is not None, "server not started"
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def close(self) -> None:
+        """Stop accepting and close listening sockets (connections in
+        flight finish their own teardown; the service is the caller's)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- metrics ----------------------------------------------------------
+
+    def merged_metrics(self) -> ServiceMetrics:
+        """Cross-shard service metrics with the socket counters folded in."""
+        merged = self.service.metrics
+        merged.registry.merge(self.registry)
+        return merged
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.registry.counter("frontend.connections").increment()
+        loop = asyncio.get_running_loop()
+        send_queue: asyncio.Queue[str | None] = asyncio.Queue(
+            maxsize=self.config.send_queue_limit
+        )
+        #: wire request_id (or synthetic) -> live ticket, for cancellation.
+        outstanding: dict[int, object] = {}
+        closing = False
+
+        def enqueue(line: str) -> bool:
+            """Queue one response line; False means the client is too slow
+            (its bounded send queue is full) and the connection must go."""
+            nonlocal closing
+            if closing:
+                return False
+            try:
+                send_queue.put_nowait(line)
+                return True
+            except asyncio.QueueFull:
+                self.registry.counter(
+                    "frontend.slow_client_disconnects"
+                ).increment()
+                closing = True
+                writer.transport.abort()
+                return False
+
+        def deliver(key: int, request_id: str, ticket) -> None:
+            """Runs on the event loop once the service finished a ticket."""
+            if outstanding.pop(key, None) is None:
+                return  # connection already torn down
+            result = ticket.result(timeout=0)
+            response = self.orchestrator.respond(result, request_id=request_id)
+            if enqueue(encode(response)):
+                self.registry.counter("frontend.responses").increment()
+
+        sender = asyncio.create_task(self._send_loop(writer, send_queue))
+        enqueue(encode(self._hello()))
+        try:
+            ticket_key = 0
+            while not closing:
+                try:
+                    raw = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Overlong line: the stream position is unreliable,
+                    # answer structurally and hang up.
+                    enqueue(encode(ErrorV1(
+                        code="bad_schema",
+                        message="request line exceeds "
+                        f"{self.config.max_line_bytes} bytes",
+                    )))
+                    break
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not raw:
+                    break  # EOF
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    request = decode(line)
+                except SchemaError as exc:
+                    self.registry.counter("frontend.bad_lines").increment()
+                    enqueue(encode(ErrorV1(code="bad_schema", message=str(exc))))
+                    continue
+                if not isinstance(request, PlanRequestV1):
+                    self.registry.counter("frontend.bad_lines").increment()
+                    enqueue(encode(ErrorV1(
+                        code="bad_schema",
+                        message=f"expected kind 'plan_request', "
+                        f"got {request.KIND!r}",
+                    )))
+                    continue
+                self.registry.counter("frontend.requests").increment()
+                try:
+                    ticket = self.orchestrator.submit(request)
+                except OrchestratorError as exc:
+                    # Admission refusal / deadline shed: a structured
+                    # response on the existing vocabulary, immediately.
+                    self.registry.counter("frontend.shed").increment()
+                    if enqueue(encode(PlanResponseV1(
+                        status="rejected",
+                        tenant=request.tenant,
+                        request_id=request.request_id,
+                        error=exc.error,
+                    ))):
+                        self.registry.counter("frontend.responses").increment()
+                    continue
+                ticket_key += 1
+                key, request_id = ticket_key, request.request_id
+                outstanding[key] = ticket
+                ticket.add_done_callback(
+                    lambda done, key=key, request_id=request_id: (
+                        self._from_service_thread(
+                            loop, deliver, key, request_id, done
+                        )
+                    )
+                )
+        finally:
+            closing = True
+            self.registry.counter("frontend.disconnects").increment()
+            abandoned = list(outstanding.values())
+            outstanding.clear()
+            for ticket in abandoned:
+                ticket.cancel()
+            if abandoned:
+                self.registry.counter(
+                    "frontend.cancelled_on_disconnect"
+                ).increment(len(abandoned))
+            try:
+                send_queue.put_nowait(None)
+            except asyncio.QueueFull:
+                sender.cancel()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await sender
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    @staticmethod
+    def _from_service_thread(loop, deliver, key, request_id, ticket) -> None:
+        """Bridge a completion from a service worker thread to the loop."""
+        try:
+            loop.call_soon_threadsafe(deliver, key, request_id, ticket)
+        except RuntimeError:
+            pass  # loop already closed (shutdown race); client is gone
+
+    async def _send_loop(
+        self, writer: asyncio.StreamWriter, queue: asyncio.Queue
+    ) -> None:
+        """Single writer per connection: drains the bounded send queue
+        under TCP backpressure, preserving enqueue order."""
+        while True:
+            line = await queue.get()
+            if line is None:
+                return
+            try:
+                writer.write(line.encode("utf-8") + b"\n")
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, RuntimeError):
+                return
+
+    def _hello(self) -> HelloV1:
+        from ...cli import package_version
+
+        return HelloV1(version=package_version())
+
+
+def run_server(
+    config: FrontendConfig | None = None,
+    service_config: ServiceConfig | None = None,
+    *,
+    metrics_json: str | None = None,
+    ready_stream=None,
+) -> int:
+    """Assemble and run the sharded socket frontend until SIGINT/SIGTERM.
+
+    Prints ``listening on HOST:PORT`` to ``ready_stream`` (stderr by
+    default) once the socket is bound — the loadgen smoke harness and
+    the tests parse it — and dumps the merged metrics summary (plus the
+    unified JSON snapshot when ``metrics_json`` is given) on shutdown.
+    """
+    config = config or FrontendConfig()
+    service_config = service_config or ServiceConfig()
+    stream = ready_stream if ready_stream is not None else sys.stderr
+    service = ShardedPlanningService(service_config, shards=config.shards)
+    frontend = FrontendServer(service, config)
+
+    async def _main() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(signum, stop.set)
+        await frontend.start()
+        host, port = frontend.address
+        print(f"listening on {host}:{port} ({config.shards} shards)",
+              file=stream, flush=True)
+        try:
+            await stop.wait()
+        finally:
+            await frontend.close()
+
+    try:
+        asyncio.run(_main())
+    finally:
+        service.stop()
+        metrics = frontend.merged_metrics()
+        print(metrics.describe(), file=sys.stderr)
+        if metrics_json:
+            from ...cli import _write_metrics_json
+
+            _write_metrics_json(metrics_json, metrics.registry.snapshot())
+    return 0

@@ -1,0 +1,158 @@
+"""Tenant-sharded planning: N independent brokers behind one submit API.
+
+Why shard: the single-service dispatcher pops work by scanning the head
+of every active tenant queue (priority, deadline, FIFO tie-break) — an
+O(active tenants) Python loop per dispatch.  On a cache-served wire
+workload that scan *is* the hot path, so dispatch throughput falls off
+linearly with tenant count.  Hashing tenants onto ``shards``
+independent :class:`~repro.service.service.PlanningService` instances
+divides the scan: each shard's dispatcher only ever sees its own
+tenants, and per-tenant FIFO order and admission bounds — both defined
+per tenant — are preserved exactly because a tenant maps to one shard
+for life.
+
+What stays global: plans.  All shards share one
+:class:`~repro.service.cache.SharedPlanCache` (the L2 behind each
+shard's private LRU L1), so a plan solved on any shard is a cache hit
+on every other, and identical cold requests arriving on *different*
+shards coalesce onto a single solve through the L2's single-flight
+table instead of thundering the solver pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ...core.problem import PlanningProblem
+from ..cache import SharedPlanCache
+from ..metrics import ServiceMetrics
+from ..requests import PlanRequest, SubmittedRequest
+from ..service import PlanningService, ServiceConfig
+
+__all__ = ["ShardedPlanningService", "shard_for_tenant"]
+
+
+def shard_for_tenant(tenant: str, shards: int) -> int:
+    """Stable tenant -> shard index.
+
+    blake2b (not ``hash``, which is salted per process) so clients,
+    servers and replays agree on the mapping across process boundaries.
+    """
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    digest = hashlib.blake2b(tenant.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+class ShardedPlanningService:
+    """N tenant-sharded :class:`PlanningService` instances, one submit API.
+
+    Duck-type compatible with ``PlanningService`` where the orchestrator
+    and CLI need it (``submit`` / ``submit_request`` / ``start`` /
+    ``stop`` / ``metrics``), so it drops into
+    :class:`~repro.api.orchestrator.Orchestrator` as the ``service``.
+
+    Every shard gets the same :class:`ServiceConfig`; admission bounds
+    (``max_pending_total`` etc.) therefore apply *per shard*.  The
+    config's ``ordered_admission`` matters here: with it on (the socket
+    frontend's setting) cache hits queue like everything else, keeping
+    per-tenant FIFO strict across hits and misses.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        shards: int = 4,
+        l2_capacity: int = 4096,
+        l2_stripes: int = 16,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        self.config = config or ServiceConfig()
+        self.shared_cache = SharedPlanCache(
+            capacity=l2_capacity, stripes=l2_stripes
+        )
+        self.shards = [
+            PlanningService(
+                self.config, shared_cache=self.shared_cache, shard_id=index
+            )
+            for index in range(shards)
+        ]
+
+    # -- routing ----------------------------------------------------------
+
+    def shard_for(self, tenant: str) -> PlanningService:
+        return self.shards[shard_for_tenant(tenant, len(self.shards))]
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "ShardedPlanningService":
+        for shard in self.shards:
+            shard.start()
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        """Stop every shard, draining in-flight solves.
+
+        Sequential and always waiting on each shard's pool: a shard
+        leading a cross-shard flight must settle it (completing or
+        requeueing the shards that joined) before later shards close
+        their brokers, or joined tickets would hang forever.
+        """
+        for shard in self.shards:
+            shard.stop(wait=True)
+
+    def __enter__(self) -> "ShardedPlanningService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- submission -------------------------------------------------------
+
+    def submit(
+        self,
+        problem: PlanningProblem,
+        *,
+        tenant: str = "default",
+        priority: int = 1,
+        deadline_s: float | None = None,
+        time_budget_s: float | None = None,
+    ) -> SubmittedRequest:
+        return self.submit_request(
+            PlanRequest(
+                tenant=tenant,
+                problem=problem,
+                priority=priority,
+                deadline_s=deadline_s,
+                time_budget_s=time_budget_s,
+            )
+        )
+
+    def submit_request(
+        self,
+        request: PlanRequest,
+        block: bool = False,
+        poll_s: float = 0.05,
+    ) -> SubmittedRequest:
+        """Route to the tenant's shard (same contract as the service's)."""
+        return self.shard_for(request.tenant).submit_request(
+            request, block=block, poll_s=poll_s
+        )
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return sum(shard.broker.pending for shard in self.shards)
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        """Merged snapshot across shards (counters add, series concat).
+
+        Computed on access — grab it once per report, not per request.
+        The merge also emits per-shard labeled counters and the
+        ``shard_utilization{shard=N}`` gauges.
+        """
+        return ServiceMetrics.merge([shard.metrics for shard in self.shards])

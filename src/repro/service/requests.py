@@ -146,19 +146,57 @@ class SubmittedRequest:
         self.fingerprint = fingerprint
         self.submitted_at = time.perf_counter()
         self.dispatched_at: float | None = None
+        #: Cooperative cancellation flag (see :meth:`cancel`).
+        self.cancelled = False
+        #: True while a dispatch of this ticket leads a cross-shard
+        #: single-flight entry in the shared L2 cache (service-internal).
+        self.led_flight = False
         self._done = threading.Event()
         self._result: PlanResult | None = None
+        self._lock = threading.Lock()
+        self._callbacks: list = []
 
     # -- service side -----------------------------------------------------
 
     def _complete(self, result: PlanResult) -> None:
-        self._result = result
+        with self._lock:
+            if self._result is not None:  # first completion wins
+                return
+            self._result = result
+            callbacks, self._callbacks = self._callbacks, []
         self._done.set()
+        for callback in callbacks:
+            callback(self)
 
     # -- caller side ------------------------------------------------------
 
     def done(self) -> bool:
         return self._done.is_set()
+
+    def cancel(self) -> None:
+        """Ask the service to drop this request if still queued.
+
+        Cooperative: a request already dispatched (solving, or coalesced
+        onto a solve) completes normally; a request still waiting in its
+        broker queue is finished as REJECTED at dispatch without
+        touching the solver.  The socket frontend calls this for every
+        outstanding request of a disconnected client.
+        """
+        self.cancelled = True
+
+    def add_done_callback(self, callback) -> None:
+        """Invoke ``callback(ticket)`` once the request is terminal.
+
+        Fires immediately (on the calling thread) when the request has
+        already completed; otherwise fires on the service thread that
+        completes it.  The asyncio frontend bridges completions back to
+        its event loop through this hook.
+        """
+        with self._lock:
+            if self._result is None:
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     def result(self, timeout: float | None = None) -> PlanResult:
         """Block until the service finishes the request."""

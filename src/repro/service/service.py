@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from ..core.plan import ExecutionPlan
 from ..core.problem import PlanningProblem
 from .broker import AdmissionError, RequestBroker
-from .cache import LRUCache
+from .cache import LRUCache, SharedPlanCache
 from .fingerprint import problem_fingerprint
 from .metrics import ServiceMetrics
 from .pool import SolverPool
@@ -40,6 +40,10 @@ from .requests import (
 )
 
 __all__ = ["AdmissionError", "PlanningService", "ServiceConfig"]
+
+#: EWMA weight for the rolling queue-wait estimate behind deadline-aware
+#: admission (one new observation moves the estimate by this fraction).
+_QUEUE_WAIT_EWMA_ALPHA = 0.2
 
 
 @dataclass
@@ -68,14 +72,56 @@ class ServiceConfig:
     #: Off by default — the stock service answers every distinct request
     #: with its own cold solve.
     incremental: bool = False
+    #: Route *every* admitted request through the broker queue, cache
+    #: hits included.  The default fast path answers cache hits
+    #: synchronously at submit time (they "never consume queue space"),
+    #: which can reorder a tenant's hit ahead of its own earlier queued
+    #: miss; the sharded socket frontend turns this on so per-tenant
+    #: FIFO holds across hits and misses alike.
+    ordered_admission: bool = False
+    #: Shed requests at admission when the shard's rolling queue-wait
+    #: estimate says the turnaround deadline cannot be met (code
+    #: ``rejected``, like any other admission refusal).  Conservative:
+    #: only trips once the estimate exceeds twice the deadline, so cold
+    #: shards never shed.  Off by default — the stock service lets such
+    #: requests expire in queue instead.
+    deadline_shedding: bool = False
 
 
 class PlanningService:
-    """Accepts, schedules, caches and solves tenants' planning requests."""
+    """Accepts, schedules, caches and solves tenants' planning requests.
 
-    def __init__(self, config: ServiceConfig | None = None) -> None:
+    Parameters
+    ----------
+    config:
+        Tuning knobs (:class:`ServiceConfig`).
+    shared_cache:
+        Optional :class:`SharedPlanCache` — the L2 behind a sharded
+        frontend.  The per-service LRU stays the L1: lookups promote L2
+        hits into L1, optimal solves publish to both, and cold solves
+        coalesce *across* services through the L2's single-flight table.
+    shard_id:
+        This service's shard index in a sharded frontend; labels its
+        metrics in merged snapshots.
+    metrics:
+        An existing :class:`ServiceMetrics` to record into (defaults to
+        a fresh one tagged with ``shard_id``).
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        shared_cache: SharedPlanCache | None = None,
+        shard_id: int | None = None,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
         self.config = config or ServiceConfig()
-        self.metrics = ServiceMetrics()
+        self.shard_id = shard_id
+        self.metrics = (
+            metrics if metrics is not None else ServiceMetrics(shard=shard_id)
+        )
+        self.shared_cache = shared_cache
         self.broker = RequestBroker(
             max_pending_total=self.config.max_pending_total,
             max_pending_per_tenant=self.config.max_pending_per_tenant,
@@ -105,6 +151,10 @@ class PlanningService:
             metrics=self.metrics.registry,
         )
         self._slots = threading.Semaphore(self.pool.max_workers)
+        #: Rolling estimate of broker queue wait (written only by the
+        #: dispatcher thread; read racily by admission — a stale value
+        #: just delays the deadline-shedding trip by a few dispatches).
+        self._queue_wait_ewma = 0.0
         self._inflight: dict[str, list[SubmittedRequest]] = {}
         #: Fingerprints whose running solve is shaped by the primary's own
         #: time budget / SLO; coalesced duplicates must not inherit it.
@@ -201,15 +251,28 @@ class PlanningService:
         ticket = SubmittedRequest(request, self._allocate_id(), fingerprint)
         self.metrics.record_submitted()
 
-        cached = self.plan_cache.get(fingerprint)
-        if cached is not None:
-            self._finish(
-                ticket, RequestStatus.COMPLETED, plan=cached, cached=True
+        if not self.config.ordered_admission:
+            cached = self._cached_plan(fingerprint)
+            if cached is not None:
+                self._finish(
+                    ticket, RequestStatus.COMPLETED, plan=cached, cached=True
+                )
+                self.metrics.record_completion(
+                    request.tenant, cached=True, total_s=0.0
+                )
+                return ticket
+
+        if (
+            self.config.deadline_shedding
+            and request.deadline_s is not None
+            and self.broker.pending > 0
+            and self._queue_wait_ewma > 2.0 * request.deadline_s
+        ):
+            self.metrics.record_rejected()
+            raise AdmissionError(
+                f"estimated queue wait {self._queue_wait_ewma:.2f}s cannot "
+                f"meet the {request.deadline_s}s turnaround deadline"
             )
-            self.metrics.record_completion(
-                request.tenant, cached=True, total_s=0.0
-            )
-            return ticket
 
         while True:
             try:
@@ -225,6 +288,19 @@ class PlanningService:
         with self._id_lock:
             self._next_id += 1
             return self._next_id
+
+    # -- cache ------------------------------------------------------------
+
+    def _cached_plan(self, fingerprint: str) -> ExecutionPlan | None:
+        """L1 lookup, falling back to (and promoting from) the shared L2."""
+        plan = self.plan_cache.get(fingerprint)
+        if plan is not None or self.shared_cache is None:
+            return plan
+        plan = self.shared_cache.get(fingerprint)
+        if plan is not None:
+            self.plan_cache.put(fingerprint, plan)
+            self.metrics.registry.counter("cache_l2_hits").increment()
+        return plan
 
     # -- dispatch ---------------------------------------------------------
 
@@ -250,6 +326,22 @@ class PlanningService:
         now = time.perf_counter()
         queue_wait = now - ticket.submitted_at
         self.metrics.record_queue_wait(queue_wait)
+        self._queue_wait_ewma += _QUEUE_WAIT_EWMA_ALPHA * (
+            queue_wait - self._queue_wait_ewma
+        )
+
+        if ticket.cancelled:
+            # The submitter (a disconnected socket client) is gone; the
+            # result would never be read.
+            self._finish(
+                ticket,
+                RequestStatus.REJECTED,
+                error="client disconnected before dispatch",
+                error_code="rejected",
+                queue_wait_s=queue_wait,
+            )
+            self.metrics.record_cancelled()
+            return
 
         expires_at = ticket.expires_at
         if expires_at is not None and now >= expires_at:
@@ -265,18 +357,9 @@ class PlanningService:
             return
 
         # The plan may have landed while this request was queued.
-        plan = self.plan_cache.get(ticket.fingerprint)
+        plan = self._cached_plan(ticket.fingerprint)
         if plan is not None:
-            self._finish(
-                ticket,
-                RequestStatus.COMPLETED,
-                plan=plan,
-                cached=True,
-                queue_wait_s=queue_wait,
-            )
-            self.metrics.record_completion(
-                ticket.tenant, cached=True, total_s=now - ticket.submitted_at
-            )
+            self._complete_cached([ticket], plan)
             return
 
         # Identical problem already solving: piggyback on that solve.
@@ -292,23 +375,38 @@ class PlanningService:
         # above and finding no entry can also mean the plan landed in
         # between.  This look closes that gap (an optimal plan is always
         # visible here; a failed or cut-off solve legitimately re-runs).
-        plan = self.plan_cache.get(ticket.fingerprint)
+        plan = self._cached_plan(ticket.fingerprint)
         if plan is not None:
             with self._inflight_lock:
                 late_waiters = self._inflight.pop(ticket.fingerprint, [])
-            now = time.perf_counter()
-            for hit in (ticket, *late_waiters):
-                self._finish(
-                    hit,
-                    RequestStatus.COMPLETED,
-                    plan=plan,
-                    cached=True,
-                    queue_wait_s=now - hit.submitted_at,
-                )
-                self.metrics.record_completion(
-                    hit.tenant, cached=True, total_s=now - hit.submitted_at
-                )
+            self._complete_cached([ticket, *late_waiters], plan)
             return
+
+        # Cross-shard single-flight: either the plan landed in the L2
+        # since the look above (hit), another shard is already solving it
+        # (joined — ``_on_flight_done`` fires when that solve finishes),
+        # or this shard leads the solve and owes the L2 a ``finish`` on
+        # every terminal path below.
+        if self.shared_cache is not None:
+            verdict, l2_plan = self.shared_cache.begin(
+                ticket.fingerprint,
+                lambda plan, error, budgeted, _ticket=ticket: (
+                    self._on_flight_done(_ticket, plan, error, budgeted)
+                ),
+            )
+            if verdict == "hit":
+                with self._inflight_lock:
+                    late_waiters = self._inflight.pop(ticket.fingerprint, [])
+                self.plan_cache.put(ticket.fingerprint, l2_plan)
+                self.metrics.registry.counter("cache_l2_hits").increment()
+                self._complete_cached([ticket, *late_waiters], l2_plan)
+                return
+            if verdict == "joined":
+                # Keep the local in-flight entry: this ticket fronts the
+                # remote flight for its shard, and later identical local
+                # requests coalesce behind it as usual.
+                return
+            ticket.led_flight = True
 
         # Bounded concurrency: hold dispatch (and therefore ordering)
         # until a worker slot frees up.
@@ -316,6 +414,11 @@ class PlanningService:
             if not self._running:
                 with self._inflight_lock:
                     self._inflight.pop(ticket.fingerprint, None)
+                if ticket.led_flight:
+                    # Never solved: send joined shards back to their
+                    # queues for their own attempt.
+                    ticket.led_flight = False
+                    self.shared_cache.finish(ticket.fingerprint)
                 self._finish(
                     ticket,
                     RequestStatus.REJECTED,
@@ -333,6 +436,9 @@ class PlanningService:
         if expires_at is not None and time.perf_counter() >= expires_at:
             with self._inflight_lock:
                 self._inflight.pop(ticket.fingerprint, None)
+            if ticket.led_flight:
+                ticket.led_flight = False
+                self.shared_cache.finish(ticket.fingerprint)
             self._finish(
                 ticket,
                 RequestStatus.EXPIRED,
@@ -363,6 +469,11 @@ class PlanningService:
             with self._inflight_lock:
                 waiters = self._inflight.pop(ticket.fingerprint, [])
                 self._inflight_budgeted.discard(ticket.fingerprint)
+            if ticket.led_flight:
+                ticket.led_flight = False
+                self.shared_cache.finish(
+                    ticket.fingerprint, error=exc, budgeted=budget is not None
+                )
             message = f"{type(exc).__name__}: {exc}"
             code = error_code_for_exception(exc)
             for stranded in (ticket, *waiters):
@@ -373,6 +484,86 @@ class PlanningService:
                 self.metrics.record_failure()
             return
         future.add_done_callback(lambda fut: self._on_solved(ticket, fut))
+
+    def _complete_cached(
+        self, tickets: list[SubmittedRequest], plan: ExecutionPlan
+    ) -> None:
+        """Finish ``tickets`` with a plan served from the cache."""
+        now = time.perf_counter()
+        for hit in tickets:
+            self._finish(
+                hit,
+                RequestStatus.COMPLETED,
+                plan=plan,
+                cached=True,
+                queue_wait_s=now - hit.submitted_at,
+            )
+            self.metrics.record_completion(
+                hit.tenant, cached=True, total_s=now - hit.submitted_at
+            )
+
+    def _on_flight_done(
+        self,
+        primary: SubmittedRequest,
+        plan: ExecutionPlan | None,
+        error: BaseException | None,
+        budgeted: bool,
+    ) -> None:
+        """A cross-shard flight this shard joined has settled.
+
+        Runs on the *leader* shard's completing thread.  ``primary`` is
+        the local ticket that joined the flight; any identical local
+        requests dispatched since are coalesced behind it in this
+        shard's in-flight table.  Mirrors the local coalescing rules of
+        :meth:`_on_solved`: a published plan serves everyone (minus
+        tickets whose SLO lapsed during the shared solve); a failure
+        shaped by the leader's own time budget — or a cut-off incumbent,
+        which the leader never publishes — sends the tickets back to the
+        queue for their own solve; any other failure is authoritative
+        and fails them with the same code.
+        """
+        with self._inflight_lock:
+            waiters = self._inflight.pop(primary.fingerprint, [])
+        tickets = [primary, *waiters]
+        if plan is not None:
+            self.plan_cache.put(primary.fingerprint, plan)
+            now = time.perf_counter()
+            for ticket in tickets:
+                expires_at = ticket.expires_at
+                if expires_at is not None and now >= expires_at:
+                    self._finish(
+                        ticket,
+                        RequestStatus.EXPIRED,
+                        error="turnaround deadline expired during the "
+                        "coalesced solve",
+                        error_code="expired",
+                    )
+                    self.metrics.record_expired()
+                    continue
+                self._finish(
+                    ticket,
+                    RequestStatus.COMPLETED,
+                    plan=plan,
+                    cached=True,
+                    queue_wait_s=now - ticket.submitted_at,
+                )
+                self.metrics.record_completion(
+                    ticket.tenant,
+                    cached=True,
+                    coalesced=True,
+                    total_s=now - ticket.submitted_at,
+                )
+            return
+        if error is not None and not budgeted:
+            message = f"{type(error).__name__}: {error}"
+            code = error_code_for_exception(error)
+            for ticket in tickets:
+                self._finish(
+                    ticket, RequestStatus.FAILED, error=message, error_code=code
+                )
+                self.metrics.record_failure()
+            return
+        self._requeue(tickets)
 
     def _requeue(self, tickets: list[SubmittedRequest]) -> None:
         """Put coalesced waiters back in the queue for their own solve
@@ -410,6 +601,26 @@ class PlanningService:
             waiters = self._inflight.pop(primary.fingerprint, [])
             budgeted = primary.fingerprint in self._inflight_budgeted
             self._inflight_budgeted.discard(primary.fingerprint)
+        if primary.led_flight:
+            # Settle the cross-shard flight: publish an optimal plan to
+            # the L2 (before the flight entry drops, so a racing shard
+            # finds one or the other), hand shards that joined the
+            # outcome.  A cut-off incumbent shaped by this primary's
+            # budget is not published — joined shards requeue instead.
+            primary.led_flight = False
+            if error is not None:
+                self.shared_cache.finish(
+                    primary.fingerprint, error=error, budgeted=budgeted
+                )
+            else:
+                solved = future.result()
+                self.shared_cache.finish(
+                    primary.fingerprint,
+                    plan=(
+                        solved if solved.solver_status == "optimal" else None
+                    ),
+                    budgeted=budgeted,
+                )
         if error is not None:
             message = f"{type(error).__name__}: {error}"
             code = error_code_for_exception(error)

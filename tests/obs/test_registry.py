@@ -54,7 +54,7 @@ class TestInstruments:
         series.record(0.1)
         summary = series.summary()
         assert set(summary) == {
-            "count", "mean_s", "p50_s", "p90_s", "p99_s", "max_s"
+            "count", "mean_s", "p50_s", "p90_s", "p95_s", "p99_s", "max_s"
         }
 
 

@@ -1,0 +1,305 @@
+"""Cross-shard caching: shard routing, the shared L2, single-flight
+coalescing across shards, and per-tenant FIFO under ordered admission."""
+
+import concurrent.futures
+import time
+
+import pytest
+
+from repro.cloud import public_cloud
+from repro.core import Goal, NetworkConditions, Planner, PlannerJob, PlanningProblem
+from repro.service import (
+    PlanningService,
+    PlanRequest,
+    RequestStatus,
+    ServiceConfig,
+    SharedPlanCache,
+    problem_fingerprint,
+)
+from repro.service.frontend import ShardedPlanningService, shard_for_tenant
+
+
+def make_problem(input_gb=4.0, deadline=3.0, uplink=16.0) -> PlanningProblem:
+    return PlanningProblem(
+        job=PlannerJob(name="job", input_gb=input_gb),
+        services=public_cloud(),
+        network=NetworkConditions.from_mbit_s(uplink),
+        goal=Goal.min_cost(deadline_hours=deadline),
+    )
+
+
+def sharded(shards=2, **overrides) -> ShardedPlanningService:
+    config = dict(pool_mode="inline", max_workers=1, ordered_admission=True)
+    config.update(overrides)
+    return ShardedPlanningService(ServiceConfig(**config), shards=shards)
+
+
+def tenant_on_shard(shard: int, shards: int) -> str:
+    """A tenant name hashing to ``shard`` (the hash is stable, so the
+    search is deterministic)."""
+    for index in range(10_000):
+        tenant = f"tenant-{index}"
+        if shard_for_tenant(tenant, shards) == shard:
+            return tenant
+    raise AssertionError("no tenant found for shard")
+
+
+class ManualPool:
+    """A solver pool whose futures the test completes by hand."""
+
+    max_workers = 1
+
+    def __init__(self):
+        self.submissions = []
+
+    def submit(self, problem, fingerprint, budget):
+        future = concurrent.futures.Future()
+        self.submissions.append((fingerprint, future))
+        return future
+
+    def shutdown(self, wait=True):
+        for _, future in self.submissions:
+            if not future.done():
+                future.set_exception(RuntimeError("pool shut down"))
+
+
+def joined_count(cache: SharedPlanCache) -> int:
+    """How many callbacks have joined the cache's open flights."""
+    return sum(
+        len(callbacks)
+        for flights in cache._flights
+        for callbacks in flights.values()
+    )
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestShardRouting:
+    def test_stable_and_in_range(self):
+        for shards in (1, 2, 4, 7):
+            for index in range(50):
+                tenant = f"tenant-{index}"
+                first = shard_for_tenant(tenant, shards)
+                assert first == shard_for_tenant(tenant, shards)
+                assert 0 <= first < shards
+
+    def test_spreads_tenants(self):
+        hits = {shard_for_tenant(f"tenant-{i}", 4) for i in range(64)}
+        assert hits == {0, 1, 2, 3}
+
+    def test_requests_land_on_the_tenants_shard(self):
+        service = sharded(shards=4)
+        with service:
+            tenant = tenant_on_shard(2, 4)
+            result = service.submit(
+                make_problem(), tenant=tenant
+            ).result(timeout=120.0)
+        assert result.ok
+        assert service.shards[2].metrics.completed == 1
+        for index in (0, 1, 3):
+            assert service.shards[index].metrics.completed == 0
+
+
+class TestSharedL2:
+    def test_l2_hit_promotes_into_l1(self):
+        problem = make_problem()
+        fingerprint = problem_fingerprint(problem)
+        plan = Planner().plan(problem)
+        l2 = SharedPlanCache()
+        l2.put(fingerprint, plan)
+        service = PlanningService(
+            ServiceConfig(pool_mode="inline", max_workers=1), shared_cache=l2
+        )
+        assert fingerprint not in service.plan_cache
+        assert service._cached_plan(fingerprint) is plan
+        assert fingerprint in service.plan_cache
+        assert service.metrics.registry.counter("cache_l2_hits").value == 1
+
+    def test_plan_solved_on_one_shard_hits_on_another(self):
+        problem = make_problem()
+        service = sharded(shards=2)
+        with service:
+            first = service.submit(
+                problem, tenant=tenant_on_shard(0, 2)
+            ).result(timeout=120.0)
+            second = service.submit(
+                problem, tenant=tenant_on_shard(1, 2)
+            ).result(timeout=120.0)
+        assert first.ok and not first.cached
+        assert second.ok and second.cached
+        assert second.solve_s == 0.0
+        # One solve total across the fleet of shards.
+        metrics = service.metrics
+        assert metrics.cache_misses == 1
+        assert metrics.cache_hits == 1
+
+    def test_concurrent_identical_requests_on_two_shards_solve_once(self):
+        problem = make_problem()
+        fingerprint = problem_fingerprint(problem)
+        plan = Planner().plan(problem)
+        assert plan.solver_status == "optimal"
+
+        service = sharded(shards=2)
+        pools = [ManualPool(), ManualPool()]
+        for shard, pool in zip(service.shards, pools):
+            shard.pool = pool
+        with service:
+            leader_ticket = service.submit(
+                problem, tenant=tenant_on_shard(0, 2)
+            )
+            assert wait_until(lambda: len(pools[0].submissions) == 1)
+            # Shard 1 sees the same fingerprint while shard 0's solve is
+            # in flight: it must join that flight, not start its own.
+            follower_ticket = service.submit(
+                problem, tenant=tenant_on_shard(1, 2)
+            )
+            assert wait_until(
+                lambda: joined_count(service.shared_cache) == 1
+            )
+            assert service.shared_cache.inflight() == 1
+            assert pools[1].submissions == []
+            assert not follower_ticket.done()
+
+            pools[0].submissions[0][1].set_result(plan)
+            leader = leader_ticket.result(timeout=10.0)
+            follower = follower_ticket.result(timeout=10.0)
+
+        assert leader.ok and not leader.cached
+        assert follower.ok and follower.cached
+        assert follower.status is RequestStatus.COMPLETED
+        # The flight settled: the plan is in the L2 and promoted into
+        # the follower shard's L1.
+        assert service.shared_cache.get(fingerprint) is plan
+        assert fingerprint in service.shards[1].plan_cache
+        assert service.shared_cache.inflight() == 0
+        assert service.metrics.coalesced == 1
+
+    def test_failed_leader_fails_joined_shards_with_same_code(self):
+        problem = make_problem()
+        service = sharded(shards=2)
+        pools = [ManualPool(), ManualPool()]
+        for shard, pool in zip(service.shards, pools):
+            shard.pool = pool
+        with service:
+            leader_ticket = service.submit(
+                problem, tenant=tenant_on_shard(0, 2)
+            )
+            assert wait_until(lambda: len(pools[0].submissions) == 1)
+            follower_ticket = service.submit(
+                problem, tenant=tenant_on_shard(1, 2)
+            )
+            assert wait_until(
+                lambda: joined_count(service.shared_cache) == 1
+            )
+
+            from repro.lp.model import SolverError
+
+            pools[0].submissions[0][1].set_exception(SolverError("backend died"))
+            leader = leader_ticket.result(timeout=10.0)
+            follower = follower_ticket.result(timeout=10.0)
+
+        assert leader.status is RequestStatus.FAILED
+        assert follower.status is RequestStatus.FAILED
+        assert leader.error_code == follower.error_code == "solver_error"
+        assert pools[1].submissions == []
+
+
+class TestOrderedAdmissionFifo:
+    def test_l2_hit_waits_its_queue_turn(self):
+        # Under ordered admission a cache hit is NOT answered at submit
+        # time — it queues like any miss, so a tenant's hit can never
+        # overtake its own earlier queued request.
+        problem = make_problem()
+        fingerprint = problem_fingerprint(problem)
+        plan = Planner().plan(problem)
+        service = PlanningService(
+            ServiceConfig(
+                pool_mode="inline", max_workers=1, ordered_admission=True
+            ),
+            shared_cache=SharedPlanCache(),
+        )
+        service.shared_cache.put(fingerprint, plan)
+        ticket = service.submit_request(
+            PlanRequest(tenant="acme", problem=problem)
+        )
+        # Not synchronous: the dispatcher serves it in FIFO order.
+        result = ticket.result(timeout=10.0)
+        assert result.ok and result.cached
+        service.stop()
+
+    def test_same_tenant_hits_complete_in_submission_order(self):
+        problems = [make_problem(input_gb=4.0), make_problem(input_gb=8.0)]
+        plans = {problem_fingerprint(p): Planner().plan(p) for p in problems}
+        l2 = SharedPlanCache()
+        for fingerprint, plan in plans.items():
+            l2.put(fingerprint, plan)
+        service = PlanningService(
+            ServiceConfig(
+                pool_mode="inline", max_workers=1, ordered_admission=True
+            ),
+            shared_cache=l2,
+        )
+        completions = []
+        with service:
+            tickets = [
+                service.submit(problem, tenant="acme") for problem in problems
+            ]
+            for index, ticket in enumerate(tickets):
+                ticket.add_done_callback(
+                    lambda done, index=index: completions.append(index)
+                )
+            for ticket in tickets:
+                assert ticket.result(timeout=10.0).ok
+        assert completions == [0, 1]
+        assert service.metrics.cache_hits == 2
+
+
+class TestSharedPlanCacheUnit:
+    def test_begin_leader_then_hit_after_finish(self):
+        cache = SharedPlanCache(capacity=16, stripes=4)
+        verdict, plan = cache.begin("fp", lambda *a: None)
+        assert (verdict, plan) == ("leader", None)
+        cache.finish("fp", plan="the-plan")
+        verdict, plan = cache.begin("fp", lambda *a: None)
+        assert (verdict, plan) == ("hit", "the-plan")
+
+    def test_joined_callback_fires_with_outcome(self):
+        cache = SharedPlanCache()
+        seen = []
+        assert cache.begin("fp", lambda *a: None)[0] == "leader"
+        assert cache.begin(
+            "fp",
+            lambda plan, error, budgeted: seen.append((plan, error, budgeted)),
+        )[0] == "joined"
+        cache.finish("fp", plan="p", budgeted=False)
+        assert seen == [("p", None, False)]
+        assert cache.inflight() == 0
+
+    def test_finish_publishes_before_dropping_the_flight(self):
+        # A begin racing finish must see the plan or the flight — the
+        # public contract is simply: after finish, begin returns a hit.
+        cache = SharedPlanCache()
+        assert cache.begin("fp", lambda *a: None)[0] == "leader"
+        cache.finish("fp", plan="p")
+        assert cache.get("fp") == "p"
+
+    def test_zero_capacity_still_single_flights(self):
+        cache = SharedPlanCache(capacity=0)
+        assert cache.begin("fp", lambda *a: None)[0] == "leader"
+        fired = []
+        assert cache.begin(
+            "fp", lambda plan, error, budgeted: fired.append(plan)
+        )[0] == "joined"
+        cache.finish("fp", plan="p")
+        assert fired == ["p"]
+        # Nothing retained...
+        assert cache.get("fp") is None
+        # ...so the next identical request leads a fresh flight.
+        assert cache.begin("fp", lambda *a: None)[0] == "leader"

@@ -1,0 +1,182 @@
+"""Overload behavior of the sharded frontend: bounded queues shed with
+``rejected`` (never hang), queued requests expire on deadline, deadline
+shedding trips at admission, and disconnect-cancelled work never solves."""
+
+import time
+
+import pytest
+from test_frontend_cache import (
+    ManualPool,
+    make_problem,
+    tenant_on_shard,
+    wait_until,
+)
+
+from repro.core import Planner
+from repro.service import (
+    AdmissionError,
+    PlanningService,
+    RequestStatus,
+    ServiceConfig,
+)
+from repro.service.frontend import ShardedPlanningService
+
+
+class TestAdmissionShedding:
+    def test_saturated_shard_sheds_instead_of_hanging(self):
+        # Shard 0: one solve gated in the pool, one dispatch blocked on
+        # the single worker slot, two requests filling the queue — the
+        # next submit is refused immediately (AdmissionError -> wire
+        # status "rejected"), while the sibling shard stays open and
+        # everything admitted still completes once the solve lands.
+        service = ShardedPlanningService(
+            ServiceConfig(
+                pool_mode="inline",
+                max_workers=1,
+                ordered_admission=True,
+                max_pending_total=2,
+                max_pending_per_tenant=2,
+            ),
+            shards=2,
+        )
+        pool = ManualPool()
+        service.shards[0].pool = pool
+        broker = service.shards[0].broker
+        tenant = tenant_on_shard(0, 2)
+        other = tenant_on_shard(1, 2)
+        gated_problem = make_problem(input_gb=2.0)
+        queued_problem = make_problem(input_gb=8.0)
+        with service:
+            gated = service.submit(gated_problem, tenant=tenant)
+            assert wait_until(lambda: len(pool.submissions) == 1)
+            head = service.submit(queued_problem, tenant=tenant)
+            # The dispatcher pops it and blocks waiting for the slot.
+            assert wait_until(lambda: broker.pending == 0)
+            queued = [
+                service.submit(queued_problem, tenant=tenant)
+                for _ in range(2)
+            ]
+            assert broker.pending == 2
+            started = time.perf_counter()
+            with pytest.raises(AdmissionError):
+                service.submit(queued_problem, tenant=tenant)
+            # Shedding is immediate, not a timeout.
+            assert time.perf_counter() - started < 1.0
+            # The sibling shard is unaffected by this shard's backlog.
+            assert service.submit(
+                make_problem(input_gb=4.0), tenant=other
+            ).result(timeout=120.0).ok
+
+            pool.submissions[0][1].set_result(Planner().plan(gated_problem))
+            assert gated.result(timeout=10.0).ok
+            assert wait_until(lambda: len(pool.submissions) == 2)
+            pool.submissions[1][1].set_result(Planner().plan(queued_problem))
+            assert head.result(timeout=10.0).ok
+            for ticket in queued:
+                result = ticket.result(timeout=10.0)
+                assert result.ok and result.cached
+        assert service.metrics.rejected == 1
+
+    def test_deadline_shedding_rejects_unmeetable_deadlines(self):
+        service = PlanningService(ServiceConfig(
+            pool_mode="inline", max_workers=1, deadline_shedding=True
+        ))
+        pool = ManualPool()
+        service.pool = pool
+        problems = [make_problem(input_gb=gb) for gb in (2.0, 4.0, 8.0)]
+        try:
+            gated = service.submit(problems[0], tenant="acme")
+            assert wait_until(lambda: len(pool.submissions) == 1)
+            service.submit(problems[1], tenant="acme")
+            assert wait_until(lambda: service.broker.pending == 0)
+            service.submit(problems[2], tenant="acme")
+            assert service.broker.pending == 1
+            # With a backlog and a queue-wait estimate far above the
+            # deadline, admission sheds instead of queueing-to-expire...
+            service._queue_wait_ewma = 10.0
+            with pytest.raises(AdmissionError):
+                service.submit(problems[2], tenant="acme", deadline_s=0.1)
+            assert service.metrics.rejected == 1
+            # ...but a request with no deadline still queues fine.
+            service.submit(problems[2], tenant="acme")
+            assert service.metrics.rejected == 1
+            pool.submissions[0][1].set_result(Planner().plan(problems[0]))
+            assert gated.result(timeout=10.0).ok
+        finally:
+            service.stop()
+
+    def test_cold_service_never_deadline_sheds(self):
+        config = ServiceConfig(
+            pool_mode="inline", max_workers=1, deadline_shedding=True
+        )
+        with PlanningService(config) as service:
+            result = service.submit(
+                make_problem(), tenant="acme", deadline_s=120.0
+            ).result(timeout=120.0)
+        assert result.ok
+
+
+class TestQueuedExpiry:
+    def test_deadline_expired_queued_request_returns_expired(self):
+        # Shard 0's dispatcher is pinned: one solve gated in the pool,
+        # the next dispatch blocked on the worker slot.  A third request
+        # with a tiny deadline therefore provably sits in the broker
+        # queue while its SLO lapses — it must come back EXPIRED, never
+        # solved uselessly late.
+        config = ServiceConfig(
+            pool_mode="inline", max_workers=1, ordered_admission=True
+        )
+        service = ShardedPlanningService(config, shards=2)
+        pool = ManualPool()
+        service.shards[0].pool = pool
+        broker = service.shards[0].broker
+        tenant = tenant_on_shard(0, 2)
+        problems = [make_problem(input_gb=gb) for gb in (2.0, 4.0, 8.0)]
+        with service:
+            gated = service.submit(problems[0], tenant=tenant)
+            assert wait_until(lambda: len(pool.submissions) == 1)
+            blocked = service.submit(problems[1], tenant=tenant)
+            assert wait_until(lambda: broker.pending == 0)
+            doomed = service.submit(
+                problems[2], tenant=tenant, deadline_s=1e-3
+            )
+            assert broker.pending == 1
+            time.sleep(0.05)  # the queued deadline lapses
+            pool.submissions[0][1].set_result(Planner().plan(problems[0]))
+            assert gated.result(timeout=10.0).ok
+            assert wait_until(lambda: len(pool.submissions) == 2)
+            pool.submissions[1][1].set_result(Planner().plan(problems[1]))
+            assert blocked.result(timeout=10.0).ok
+            result = doomed.result(timeout=10.0)
+        assert result.status is RequestStatus.EXPIRED
+        assert result.error_code == "expired"
+        assert "in queue" in result.error
+        assert service.metrics.expired == 1
+
+
+class TestDisconnectCancellation:
+    def test_cancel_before_dispatch_skips_the_solver(self):
+        config = ServiceConfig(
+            pool_mode="inline", max_workers=1, ordered_admission=True
+        )
+        with PlanningService(config) as service:
+            head = service.submit(make_problem(input_gb=2.0), tenant="acme")
+            doomed = service.submit(make_problem(input_gb=8.0), tenant="acme")
+            doomed.cancel()
+            assert head.result(timeout=120.0).ok
+            result = doomed.result(timeout=120.0)
+        assert result.status is RequestStatus.REJECTED
+        assert result.error_code == "rejected"
+        assert service.metrics.cancelled == 1
+        # The cancelled fingerprint never reached the solver: only the
+        # head request was a cache miss.
+        assert service.metrics.cache_misses == 1
+
+    def test_cancel_after_completion_is_a_noop(self):
+        config = ServiceConfig(pool_mode="inline", max_workers=1)
+        with PlanningService(config) as service:
+            ticket = service.submit(make_problem(), tenant="acme")
+            result = ticket.result(timeout=120.0)
+            ticket.cancel()
+        assert result.ok
+        assert service.metrics.cancelled == 0
